@@ -1,0 +1,166 @@
+(* Command-line interface to the generator, oracle and cost model.
+
+     rlibm_gen generate --func exp2 --scheme estrin-fma [--ebits 5 --prec 8]
+     rlibm_gen oracle   --func log2 --x 1.5 [--prec 96]
+     rlibm_gen cost     [--degree 5]
+
+   See README.md for a walkthrough. *)
+
+open Cmdliner
+
+let func_arg =
+  let parse s =
+    match Oracle.of_name s with
+    | Some f -> Ok f
+    | None -> Error (`Msg (Printf.sprintf "unknown function %S" s))
+  in
+  let print fmt f = Format.pp_print_string fmt (Oracle.name f) in
+  Arg.conv (parse, print)
+
+let scheme_arg =
+  let parse s =
+    match Polyeval.scheme_of_name s with
+    | Some x -> Ok x
+    | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  let print fmt s = Format.pp_print_string fmt (Polyeval.scheme_name s) in
+  Arg.conv (parse, print)
+
+(* ---------- generate ---------- *)
+
+let generate_cmd =
+  let run func scheme ebits prec pieces table_bits verify verbose =
+    let tin = Softfp.make_fmt ~ebits ~prec in
+    let cfg =
+      {
+        (Rlibm.Config.mini_for func) with
+        Rlibm.Config.tin;
+        pieces =
+          (match pieces with
+          | Some p -> p
+          | None -> (Rlibm.Config.mini_for func).Rlibm.Config.pieces);
+        table_bits;
+      }
+    in
+    let log = if verbose then fun s -> Printf.eprintf "%s\n%!" s else fun _ -> () in
+    Printf.printf "generating %s / %s for %d-bit inputs (%d finite values)\n%!"
+      (Oracle.name func)
+      (Polyeval.scheme_name scheme)
+      (Softfp.width tin) (Softfp.count_finite tin);
+    match Genlibm.generate ~log ~cfg ~scheme func with
+    | Error msg ->
+        Printf.eprintf "generation failed: %s\n" msg;
+        exit 1
+    | Ok g ->
+        Printf.printf "%s\n"
+          (Format.asprintf "%a" Genlibm.pp_table1_row (Genlibm.table1_row g));
+        Array.iteri
+          (fun i (piece : Polyeval.compiled) ->
+            Printf.printf "piece %d (degree %d): cost %s\n" i
+              piece.Polyeval.degree
+              (Format.asprintf "%a" Expr.pp_cost (Polyeval.cost piece));
+            Array.iteri
+              (fun k c -> Printf.printf "  c%d = %h  (%.17g)\n" k c c)
+              piece.Polyeval.data)
+          g.Rlibm.Generate.pieces;
+        if verify then begin
+          let inputs = Genlibm.inputs_exhaustive tin in
+          let rep = Genlibm.verify g ~inputs in
+          Printf.printf "verify: %s\n"
+            (Format.asprintf "%a" Genlibm.pp_verify_report rep);
+          if rep.Genlibm.wrong34 > 0 || rep.Genlibm.wrong_narrow > 0 then
+            exit 1
+        end
+  in
+  let func =
+    Arg.(required & opt (some func_arg) None & info [ "func"; "f" ] ~doc:"Function: exp, exp2, exp10, log, log2, log10.")
+  in
+  let scheme =
+    Arg.(value & opt scheme_arg Polyeval.EstrinFma & info [ "scheme"; "s" ] ~doc:"Evaluation scheme: horner, horner-fma, knuth, estrin, estrin-fma.")
+  in
+  let ebits = Arg.(value & opt int 5 & info [ "ebits" ] ~doc:"Exponent bits of the input format.") in
+  let prec = Arg.(value & opt int 8 & info [ "prec" ] ~doc:"Precision (significand bits incl. hidden) of the input format.") in
+  let pieces = Arg.(value & opt (some int) None & info [ "pieces" ] ~doc:"Sub-domains of the reduced domain.") in
+  let table_bits = Arg.(value & opt int 4 & info [ "table-bits" ] ~doc:"Log-family reduction table bits.") in
+  let verify = Arg.(value & flag & info [ "verify" ] ~doc:"Exhaustively verify the generated function.") in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log the generation loop.") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a correctly rounded elementary function")
+    Term.(const run $ func $ scheme $ ebits $ prec $ pieces $ table_bits $ verify $ verbose)
+
+(* ---------- oracle ---------- *)
+
+let oracle_cmd =
+  let run func x prec =
+    let q = Rat.of_string x in
+    if not (Oracle.domain_ok func q) then begin
+      Printf.eprintf "%s is outside the domain of %s\n" x (Oracle.name func);
+      exit 1
+    end;
+    (match Oracle.exact_value func q with
+    | Some y ->
+        Printf.printf "%s(%s) = %s exactly\n" (Oracle.name func) x
+          (Rat.to_string y)
+    | None ->
+        let iv = Oracle.enclosure func q ~prec in
+        let lo, hi = Ival.to_rats iv in
+        Printf.printf "%s(%s) in [%s,\n            %s] (width <= 2^%d)\n"
+          (Oracle.name func) x
+          (Rat.to_decimal_string ~digits:30 lo)
+          (Rat.to_decimal_string ~digits:30 hi)
+          (try
+             let w = Rat.sub hi lo in
+             if Rat.is_zero w then min_int
+             else
+               let _, e, _ = Rat.approx w ~bits:1 in
+               e + 1
+           with _ -> 0));
+    List.iter
+      (fun (name, fmt) ->
+        Printf.printf "  %-10s" name;
+        List.iter
+          (fun mode ->
+            let b = Oracle.correctly_round func q ~fmt ~mode in
+            Printf.printf " %s=%h" (Softfp.mode_to_string mode)
+              (Softfp.to_float fmt b))
+          (Softfp.RTO :: Softfp.all_standard_modes);
+        print_newline ())
+      [
+        ("binary16", Softfp.binary16);
+        ("bfloat16", Softfp.bfloat16);
+        ("binary32", Softfp.binary32);
+        ("fp34", Softfp.fp34);
+      ]
+  in
+  let func = Arg.(required & opt (some func_arg) None & info [ "func"; "f" ] ~doc:"Function.") in
+  let x = Arg.(required & opt (some string) None & info [ "x" ] ~doc:"Input: an integer, decimal, or p/q rational.") in
+  let prec = Arg.(value & opt int 96 & info [ "prec" ] ~doc:"Enclosure precision in bits.") in
+  Cmd.v
+    (Cmd.info "oracle" ~doc:"Query the correctly rounded oracle")
+    Term.(const run $ func $ x $ prec)
+
+(* ---------- cost ---------- *)
+
+let cost_cmd =
+  let run degree =
+    Printf.printf "operation counts and dependence depth at degree %d:\n" degree;
+    List.iter
+      (fun scheme ->
+        match scheme with
+        | Polyeval.Knuth when degree < 4 || degree > 6 ->
+            Printf.printf "  %-11s n/a (Knuth adaptation needs degree 4-6)\n"
+              (Polyeval.scheme_name scheme)
+        | _ ->
+            let c = Expr.cost (Polyeval.scheme_expr scheme ~degree) in
+            Printf.printf "  %-11s %s\n"
+              (Polyeval.scheme_name scheme)
+              (Format.asprintf "%a" Expr.pp_cost c))
+      Polyeval.all_schemes
+  in
+  let degree = Arg.(value & opt int 5 & info [ "degree"; "d" ] ~doc:"Polynomial degree.") in
+  Cmd.v (Cmd.info "cost" ~doc:"Static cost model of the evaluation schemes")
+    Term.(const run $ degree)
+
+let () =
+  let doc = "RLibm-style correctly rounded function generator with fast polynomial evaluation" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "rlibm_gen" ~doc) [ generate_cmd; oracle_cmd; cost_cmd ]))

@@ -1,0 +1,1 @@
+examples/emit_source.ml: Array Codegen Filename Genlibm Option Oracle Polyeval Printf Rlibm String Sys

@@ -1,0 +1,1 @@
+examples/float32_demo.ml: Array Expr Float Format Genlibm List Oracle Polyeval Printf Rlibm Sys Unix

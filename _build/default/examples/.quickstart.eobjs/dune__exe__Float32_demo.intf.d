@@ -1,0 +1,1 @@
+examples/float32_demo.mli:

@@ -1,0 +1,1 @@
+examples/generate_all.ml: Array Format Genlibm List Oracle Polyeval Printf Rlibm String Unix

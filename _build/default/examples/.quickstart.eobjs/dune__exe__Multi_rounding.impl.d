@@ -1,0 +1,1 @@
+examples/multi_rounding.ml: Array Format Genlibm Int64 List Oracle Polyeval Printf Rlibm Softfp

@@ -1,0 +1,1 @@
+examples/post_process_pitfall.ml: Array Genlibm Hashtbl Int64 List Option Oracle Polyeval Printf Rlibm Softfp

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Expr Float Format Genlibm List Oracle Polyeval Printf Rat Rlibm Softfp

@@ -1,0 +1,1 @@
+lib/dyadic/dyadic.ml: Bigint Format Printf Rat Stdlib

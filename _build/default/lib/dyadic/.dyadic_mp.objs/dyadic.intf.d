@@ -1,0 +1,1 @@
+lib/dyadic/dyadic.mli: Bigint Format Rat

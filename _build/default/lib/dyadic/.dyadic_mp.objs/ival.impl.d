@@ -1,0 +1,1 @@
+lib/dyadic/ival.ml: Dyadic Format List

@@ -1,0 +1,1 @@
+lib/dyadic/ival.mli: Dyadic Format Rat

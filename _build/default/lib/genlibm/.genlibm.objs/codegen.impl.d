@@ -1,0 +1,1 @@
+lib/genlibm/codegen.ml: Array Buffer Expr Float Hashtbl List Obj Oracle Polyeval Printf Rlibm Softfp

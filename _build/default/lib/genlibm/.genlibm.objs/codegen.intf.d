@@ -1,0 +1,1 @@
+lib/genlibm/codegen.mli: Rlibm

@@ -1,0 +1,1 @@
+lib/genlibm/genlibm.ml: Array Float Format Hashtbl Int64 List Oracle Polyeval Random Rat Rlibm Softfp String

@@ -1,0 +1,1 @@
+lib/genlibm/genlibm.mli: Format Oracle Polyeval Rlibm Softfp

@@ -1,0 +1,21 @@
+(** Source-code emission for generated functions.
+
+    The paper's artifact ships its results as 24 standalone C
+    implementations; this module produces the same kind of artifact from a
+    {!Rlibm.Generate.generated} value: a self-contained C (or OCaml)
+    function computing the double-precision result whose rounding is
+    correct for every supported representation and rounding mode.
+
+    Polynomial evaluation is emitted from the scheme's {!Expr} DAG, so the
+    generated source performs exactly the operation sequence that was
+    validated during generation (shared subexpressions become named
+    temporaries; [Fma] becomes C [fma]/OCaml [Float.fma]). *)
+
+(** [to_c g ~name] is a complete C translation unit defining
+    [double name(double x)] (plus a static special-input table and, for
+    the logarithm family, the lookup table). *)
+val to_c : Rlibm.Generate.generated -> name:string -> string
+
+(** [to_ocaml g ~name] is an OCaml module body defining
+    [val name : float -> float]. *)
+val to_ocaml : Rlibm.Generate.generated -> name:string -> string

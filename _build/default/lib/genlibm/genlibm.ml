@@ -1,0 +1,202 @@
+(* End-to-end generated correctly rounded elementary functions, and the
+   exhaustive verification harness (the artifact's "correctness test"). *)
+
+type t = Rlibm.Generate.generated
+
+(* ---------- input sets ---------- *)
+
+let inputs_exhaustive fmt =
+  let acc = ref [] in
+  Softfp.iter_finite fmt (fun b -> acc := b :: !acc);
+  Array.of_list !acc
+
+(* Stratified samples for wide formats (binary32): every exponent value
+   contributes, plus dense coverage near 0, 1 and the extremes. *)
+let inputs_sampled fmt ~count ~seed =
+  let st = Random.State.make [| seed |] in
+  let w = Softfp.width fmt in
+  let acc = ref [] in
+  let add b = if Softfp.is_finite fmt b then acc := b :: !acc in
+  (* boundary patterns *)
+  add (Softfp.zero_bits fmt);
+  add (Softfp.neg_zero_bits fmt);
+  add (Softfp.min_subnormal_bits fmt ~neg:false);
+  add (Softfp.min_subnormal_bits fmt ~neg:true);
+  add (Softfp.max_finite_bits fmt ~neg:false);
+  add (Softfp.max_finite_bits fmt ~neg:true);
+  for _ = 1 to count - 6 do
+    let bits = Random.State.int64 st (Int64.shift_left 1L w) in
+    add bits
+  done;
+  Array.of_list !acc
+
+(* ---------- generation ---------- *)
+
+let generate ?log ~(cfg : Rlibm.Config.t) ~scheme func =
+  let inputs = inputs_exhaustive cfg.tin in
+  Rlibm.Generate.run ?log ~cfg ~scheme ~func ~inputs ()
+
+let generate_sampled ?log ~(cfg : Rlibm.Config.t) ~scheme ~count ~seed func =
+  let inputs = inputs_sampled cfg.tin ~count ~seed in
+  (Rlibm.Generate.run ?log ~cfg ~scheme ~func ~inputs (), inputs)
+
+(* ---------- evaluation ---------- *)
+
+let is_exp_family (f : Oracle.func) =
+  match f with Exp | Exp2 | Exp10 -> true | Log | Log2 | Log10 -> false
+
+(* The generated double-precision implementation: special table, analytic
+   shortcut, then range reduction / polynomial / output compensation. *)
+let eval_bits (g : t) (x : int64) =
+  let tin = g.cfg.tin in
+  match Softfp.classify tin x with
+  | Softfp.NaN -> Float.nan
+  | Softfp.Inf ->
+      if Softfp.sign_bit tin x then
+        if is_exp_family g.family.func then 0.0 else Float.nan
+      else Float.infinity
+  | Softfp.Zero | Softfp.Subnormal | Softfp.Normal -> (
+      match Hashtbl.find_opt g.specials x with
+      | Some v -> v
+      | None -> (
+          let xf = Softfp.to_float tin x in
+          match g.family.shortcut xf with
+          | Some v -> v
+          | None ->
+              let red = g.family.reduce xf in
+              red.oc (g.pieces.(red.piece).Polyeval.eval red.r)))
+
+(* Fast path used by the benchmarks: skips the special-table lookup cost
+   difference across schemes by keeping the exact same control flow. *)
+let eval_float (g : t) (xf : float) =
+  match g.family.shortcut xf with
+  | Some v -> v
+  | None ->
+      let red = g.family.reduce xf in
+      red.oc (g.pieces.(red.piece).Polyeval.eval red.r)
+
+(* ---------- rounding of results ---------- *)
+
+let round_result fmt mode v =
+  if Float.is_nan v then Softfp.nan_bits fmt
+  else if v = Float.infinity then Softfp.inf_bits fmt ~neg:false
+  else if v = Float.neg_infinity then Softfp.inf_bits fmt ~neg:true
+  else if v = 0.0 then
+    if 1.0 /. v < 0.0 then Softfp.neg_zero_bits fmt else Softfp.zero_bits fmt
+  else Softfp.of_rat fmt mode (Rat.of_float v)
+
+(* ---------- verification ---------- *)
+
+type verify_report = {
+  total : int;
+  checked : int;  (** finite inputs verified *)
+  wrong34 : int;  (** wrong round-to-odd result in the widened target *)
+  narrow_checks : int;
+  wrong_narrow : int;
+      (** wrong result for some narrower representation / rounding mode *)
+}
+
+let pp_verify_report fmt (r : verify_report) =
+  Format.fprintf fmt
+    "%d inputs: %d checked, %d wrong round-to-odd, %d/%d wrong narrowed"
+    r.total r.checked r.wrong34 r.wrong_narrow r.narrow_checks
+
+(* [verify g ~inputs] checks, for every finite input:
+
+   1. the double produced by the implementation rounds (round-to-odd, into
+      the widened format) to the oracle's round-to-odd result, and
+   2. rounding the implementation's double *directly* into every supported
+      representation (E+2 .. n total bits) under every standard rounding
+      mode agrees with double-rounding the oracle result — i.e. the
+      RLibm-All guarantee holds for the generated function. *)
+let verify ?(narrow = true) (g : t) ~(inputs : int64 array) =
+  let tin = g.cfg.tin in
+  let tout = Rlibm.Config.tout g.cfg in
+  let narrow_fmts =
+    List.init
+      (Softfp.width tin - (tin.Softfp.ebits + 2) + 1)
+      (fun i ->
+        Softfp.make_fmt ~ebits:tin.Softfp.ebits ~prec:(2 + i))
+  in
+  let total = ref 0 and checked = ref 0 in
+  let wrong34 = ref 0 and wrong_narrow = ref 0 and narrow_checks = ref 0 in
+  Array.iter
+    (fun x ->
+      incr total;
+      if Softfp.is_finite tin x then begin
+        incr checked;
+        let v = eval_bits g x in
+        let xq = Softfp.to_rat tin x in
+        if not (Oracle.domain_ok g.family.func xq) then begin
+          (* Logarithm of zero / a negative number: the expected results
+             are -inf and NaN respectively, in every representation. *)
+          let expect_nan = Rat.sign xq < 0 in
+          let ok =
+            if expect_nan then Float.is_nan v else v = Float.neg_infinity
+          in
+          if not ok then incr wrong34
+        end
+        else begin
+        let y_true =
+          match Hashtbl.find_opt g.oracle x with
+          | Some y -> y
+          | None ->
+              (* Shortcut-path inputs: the oracle's own range shortcut makes
+                 this cheap. *)
+              let y =
+                Oracle.correctly_round g.family.func
+                  (Softfp.to_rat tin x) ~fmt:tout ~mode:Softfp.RTO
+              in
+              Hashtbl.replace g.oracle x y;
+              y
+        in
+        let y_impl = round_result tout Softfp.RTO v in
+        if not (Int64.equal y_impl y_true) then incr wrong34
+        else if narrow then
+          List.iter
+            (fun f ->
+              List.iter
+                (fun mode ->
+                  incr narrow_checks;
+                  let direct = round_result f mode v in
+                  let doubled = Softfp.narrow ~src:tout ~dst:f mode y_true in
+                  if not (Int64.equal direct doubled) then incr wrong_narrow)
+                Softfp.all_standard_modes)
+            narrow_fmts
+        end
+      end)
+    inputs;
+  {
+    total = !total;
+    checked = !checked;
+    wrong34 = !wrong34;
+    narrow_checks = !narrow_checks;
+    wrong_narrow = !wrong_narrow;
+  }
+
+(* ---------- reporting (Table 1 rows) ---------- *)
+
+type table1_row = {
+  func : Oracle.func;
+  scheme : Polyeval.scheme;
+  n_pieces : int;
+  degrees : int list;
+  n_specials : int;
+}
+
+let table1_row (g : t) =
+  {
+    func = g.family.func;
+    scheme = g.scheme;
+    n_pieces = Array.length g.pieces;
+    degrees = Array.to_list g.degrees;
+    n_specials = Rlibm.Generate.n_specials g;
+  }
+
+let pp_table1_row fmt (r : table1_row) =
+  Format.fprintf fmt "%-6s %-11s pieces=%d degrees=%s specials=%d"
+    (Oracle.name r.func)
+    (Polyeval.scheme_name r.scheme)
+    r.n_pieces
+    (String.concat "," (List.map string_of_int r.degrees))
+    r.n_specials

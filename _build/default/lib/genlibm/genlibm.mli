@@ -1,0 +1,94 @@
+(** End-to-end generated correctly rounded elementary functions, plus the
+    exhaustive verification harness (the reproduction of the artifact's
+    correctness test).
+
+    A generated function evaluates in three stages, exactly like the
+    artifact's C implementations: per-input special table (the paper's
+    special-case inputs), analytic range shortcut (deep
+    overflow/underflow, domain errors), then range reduction → compiled
+    polynomial → output compensation, all in double precision.  The
+    resulting double rounds correctly into every representation with
+    [ebits+2 .. width tin] total bits under all five standard rounding
+    modes. *)
+
+type t = Rlibm.Generate.generated
+
+(** {1 Input sets} *)
+
+(** All finite patterns of a format (use for exhaustive runs). *)
+val inputs_exhaustive : Softfp.fmt -> int64 array
+
+(** Random patterns plus the boundary values (zeros, min subnormals, max
+    finite); for wide formats where exhaustive runs are infeasible. *)
+val inputs_sampled : Softfp.fmt -> count:int -> seed:int -> int64 array
+
+(** {1 Generation} *)
+
+(** [generate ~cfg ~scheme func] runs the pipeline over every finite
+    input of [cfg.tin]. *)
+val generate :
+  ?log:(string -> unit) ->
+  cfg:Rlibm.Config.t ->
+  scheme:Polyeval.scheme ->
+  Oracle.func ->
+  (t, string) result
+
+(** Sampled-input variant for wide formats; also returns the inputs used,
+    for verification. *)
+val generate_sampled :
+  ?log:(string -> unit) ->
+  cfg:Rlibm.Config.t ->
+  scheme:Polyeval.scheme ->
+  count:int ->
+  seed:int ->
+  Oracle.func ->
+  (t, string) result * int64 array
+
+(** {1 Evaluation} *)
+
+(** Full implementation path on an input bit pattern of [cfg.tin],
+    including NaN/infinity semantics and the special table. *)
+val eval_bits : t -> int64 -> float
+
+(** The benchmarked kernel: shortcut check, range reduction, polynomial,
+    output compensation — identical control flow for every scheme. *)
+val eval_float : t -> float -> float
+
+(** [round_result fmt mode v] rounds a double function result into a
+    format, with NaN/infinity/signed-zero handling. *)
+val round_result : Softfp.fmt -> Softfp.mode -> float -> Softfp.bits
+
+(** {1 Verification} *)
+
+type verify_report = {
+  total : int;
+  checked : int;  (** finite inputs verified *)
+  wrong34 : int;  (** wrong round-to-odd results in the widened target *)
+  narrow_checks : int;
+  wrong_narrow : int;
+      (** wrong results for some narrower representation / rounding mode *)
+}
+
+val pp_verify_report : Format.formatter -> verify_report -> unit
+
+(** [verify g ~inputs] checks, for every finite input: the double output
+    rounds (round-to-odd) to the oracle's result in the widened target,
+    and — unless [narrow] is [false] — rounding it directly into every
+    supported representation under every standard mode matches
+    double-rounding the oracle result (the RLibm-All guarantee).
+    Logarithm domain errors are checked for NaN/-infinity semantics. *)
+val verify : ?narrow:bool -> t -> inputs:int64 array -> verify_report
+
+(** {1 Reporting} *)
+
+(** One row of the paper's Table 1. *)
+type table1_row = {
+  func : Oracle.func;
+  scheme : Polyeval.scheme;
+  n_pieces : int;
+  degrees : int list;
+  n_specials : int;
+}
+
+val table1_row : t -> table1_row
+val pp_table1_row : Format.formatter -> table1_row -> unit

@@ -1,0 +1,79 @@
+(** Exact-rational linear programming.
+
+    Substitute for SoPlex (used by the RLibm artifact): a dense two-phase
+    primal simplex over {!Rat} with Bland's anti-cycling rule, so
+    feasibility verdicts are exact and termination is guaranteed.  On top
+    of it, {!solve_interval_system} implements RLibm's low-dimension /
+    many-constraint strategy: solve on a small working set of constraints
+    and repeatedly add violated ones — the workhorse of polynomial
+    generation. *)
+
+(** {1 General simplex} *)
+
+type status =
+  | Optimal of Rat.t array * Rat.t
+      (** primal solution (free variables) and objective value *)
+  | Infeasible
+  | Unbounded
+
+(** [maximize ~obj ~rows] solves
+
+    {v max obj . x   s.t.   a_i . x <= b_i  for (a_i, b_i) in rows v}
+
+    over free (sign-unrestricted) variables [x].  Every [a_i] must have
+    the same length as [obj]. *)
+val maximize : obj:Rat.t array -> rows:(Rat.t array * Rat.t) array -> status
+
+(** {1 RLibm-style interval systems} *)
+
+(** A single polynomial-output constraint: the polynomial evaluated (in
+    exact arithmetic) at [x] must land in [[lo, hi]]. *)
+type point = { x : Rat.t; lo : Rat.t; hi : Rat.t }
+
+type system_result =
+  | Sat of Rat.t array * int list
+      (** coefficients (in the order of [powers]) and the final working-set
+          indices — feed them back through [initial_working] to warm-start
+          the next solve after a small perturbation of the system *)
+  | Unsat
+
+(** [solve_interval_system ~powers points] finds coefficients [c] such
+    that for every point, [lo <= sum_k c_k * x^powers_k <= hi], using
+    constraint generation: an initial working subset is solved with a
+    maximize-the-minimum-slack objective, all points are checked against
+    the exact rational solution, the most violated ones are added, and the
+    loop repeats until everything is satisfied or the working set becomes
+    infeasible (which, because constraints only ever accumulate, proves
+    the full system infeasible).
+
+    [powers] lists the monomial exponents, e.g. [[|0;1;2;3|]] for a cubic
+    with all terms.  [max_added_per_round] (default 64) bounds how many
+    violated constraints join the working set per iteration (the batch
+    grows geometrically when many rounds are needed, so infeasibility of
+    large systems is detected quickly).  [initial_working] warm-starts the
+    working set, typically from a previous [Sat]. *)
+val solve_interval_system :
+  ?max_added_per_round:int ->
+  ?log:(string -> unit) ->
+  ?initial_working:int list ->
+  ?tilt:Rat.t array ->
+  ?mono_bits:int ->
+  powers:int array ->
+  point array ->
+  system_result
+
+(** [mono_bits] rounds each monomial [x^k] to that many significant bits
+    before building the LP (default: exact).  This keeps exact-rational
+    tableau entries small when [x] has a long mantissa; the RLibm pipeline
+    can afford it because candidate acceptance is decided by empirical
+    double evaluation, never by the LP itself. *)
+
+(** [tilt] (same length as [powers]) adds a tiny linear term over the
+    coefficients to the maximize-delta objective, selecting different
+    near-optimal vertices; the generation loop randomizes it to search for
+    candidates whose double-precision evaluation satisfies constraints the
+    default vertex misses. *)
+
+(** [eval_poly ~powers coeffs x] is the exact rational value
+    [sum_k coeffs_k * x^powers_k]. *)
+val eval_poly : powers:int array -> Rat.t array -> Rat.t -> Rat.t

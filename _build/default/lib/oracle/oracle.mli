@@ -1,0 +1,60 @@
+(** Correctly rounded oracle for the six elementary functions of the paper.
+
+    Substitute for the MPFR-based oracle (and for the precomputed oracle
+    files of the artifact): each function is evaluated over exact rationals
+    with rigorous outward-rounded interval enclosures ({!Ival}), and a Ziv
+    loop raises the working precision until the enclosure rounds
+    unambiguously in the requested format and rounding mode.  Values that
+    are exactly representable (where the Ziv loop cannot terminate) are
+    detected algebraically: by the Lindemann–Weierstrass and
+    Gelfond–Schneider theorems, [exp x] is rational only at [x = 0],
+    [2^x]/[10^x] only at integer [x], [log x] only at [x = 1], and
+    [log2 x]/[log10 x] only at exact powers of the base. *)
+
+type func = Exp | Exp2 | Exp10 | Log | Log2 | Log10
+
+val all : func list
+val name : func -> string
+val of_name : string -> func option
+
+(** [domain_ok f x]: [x] is in the open domain of [f] (positive reals for
+    the logarithms, all rationals otherwise). *)
+val domain_ok : func -> Rat.t -> bool
+
+(** [exact_value f x] is [Some y] when [f x] is exactly the rational [y]. *)
+val exact_value : func -> Rat.t -> Rat.t option
+
+(** [enclosure f x ~prec] is a rigorous interval around [f x] whose width
+    is approximately [2^-prec] (absolute, relative to the natural scale of
+    the reduced computation).
+    @raise Invalid_argument when [x] is outside the domain, or when the
+    result's binary exponent is astronomically large (callers must use
+    {!correctly_round}, which short-circuits those cases). *)
+val enclosure : func -> Rat.t -> prec:int -> Ival.t
+
+(** [correctly_round f x ~fmt ~mode] is the correctly rounded result of
+    [f x] in the given format and rounding mode, handling overflow,
+    underflow and exactly representable results.
+    @raise Invalid_argument when [x] is outside the domain of [f]. *)
+val correctly_round :
+  func -> Rat.t -> fmt:Softfp.fmt -> mode:Softfp.mode -> Softfp.bits
+
+(** A rounder memoizes the enclosures of one [f x], making it cheap to
+    round the same value into many formats and rounding modes — the access
+    pattern of the multi-representation verification harness. *)
+type rounder
+
+(** @raise Invalid_argument when [x] is outside the domain of [f]. *)
+val make_rounder : func -> Rat.t -> rounder
+
+val round_with : rounder -> fmt:Softfp.fmt -> mode:Softfp.mode -> Softfp.bits
+
+(** [float64 f x] is the round-to-nearest-even double result of [f x] for a
+    finite double [x] in the domain — a drop-in correctly rounded scalar
+    reference for tests and for range-reduction constants. *)
+val float64 : func -> float -> float
+
+(** [ln2 ~prec] and [ln10 ~prec]: cached enclosures of the constants. *)
+val ln2 : prec:int -> Ival.t
+
+val ln10 : prec:int -> Ival.t

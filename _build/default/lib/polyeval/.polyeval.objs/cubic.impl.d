@@ -1,0 +1,1 @@
+lib/polyeval/cubic.ml: Float

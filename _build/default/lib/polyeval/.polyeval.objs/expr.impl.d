@@ -1,0 +1,1 @@
+lib/polyeval/expr.ml: Array Float Format List Obj Rat Stdlib

@@ -1,0 +1,1 @@
+lib/polyeval/expr.mli: Format Rat

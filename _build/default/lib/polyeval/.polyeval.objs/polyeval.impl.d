@@ -1,0 +1,1 @@
+lib/polyeval/polyeval.ml: Array Cubic Expr Float

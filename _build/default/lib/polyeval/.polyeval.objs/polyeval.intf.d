@@ -1,0 +1,1 @@
+lib/polyeval/polyeval.mli: Expr Rat

@@ -1,0 +1,44 @@
+(* Robust real root of a cubic: bisection within the Cauchy bound, then a
+   few guarded Newton steps.  Bisection on a sign change is immune to the
+   flat regions and inflection points that can derail pure Newton. *)
+
+let eval ~c3 ~c2 ~c1 ~c0 x = ((((c3 *. x) +. c2) *. x) +. c1) *. x +. c0
+
+let real_root ~c3 ~c2 ~c1 ~c0 =
+  if c3 = 0.0 then invalid_arg "Cubic.real_root: degree < 3";
+  if not
+       (Float.is_finite c3 && Float.is_finite c2 && Float.is_finite c1
+       && Float.is_finite c0)
+  then invalid_arg "Cubic.real_root: non-finite coefficient";
+  let p = eval ~c3 ~c2 ~c1 ~c0 in
+  (* Cauchy bound: all real roots lie in [-m, m]. *)
+  let m =
+    1.0 +. (Float.max (Float.abs c2) (Float.max (Float.abs c1) (Float.abs c0))
+            /. Float.abs c3)
+  in
+  (* Orient so that p lo <= 0 <= p hi. *)
+  let lo, hi = if c3 > 0.0 then (-.m, m) else (m, -.m) in
+  let lo = ref lo and hi = ref hi in
+  for _ = 1 to 120 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if p mid < 0.0 then lo := mid else hi := mid
+  done;
+  let x = 0.5 *. (!lo +. !hi) in
+  (* Newton polish, keeping the iterate inside the bracket. *)
+  let inside y =
+    let a = Float.min !lo !hi and b = Float.max !lo !hi in
+    y >= a && y <= b
+  in
+  let rec polish x n =
+    if n = 0 then x
+    else begin
+      let d = (((3.0 *. c3 *. x) +. (2.0 *. c2)) *. x) +. c1 in
+      if d = 0.0 then x
+      else begin
+        let x' = x -. (p x /. d) in
+        if Float.is_finite x' && inside x' && x' <> x then polish x' (n - 1)
+        else x
+      end
+    end
+  in
+  polish x 4

@@ -1,0 +1,62 @@
+type t =
+  | Var
+  | Const of int
+  | Add of t * t
+  | Mul of t * t
+  | Fma of t * t * t
+
+let rec eval_float e ~data x =
+  match e with
+  | Var -> x
+  | Const i -> data.(i)
+  | Add (a, b) -> eval_float a ~data x +. eval_float b ~data x
+  | Mul (a, b) -> eval_float a ~data x *. eval_float b ~data x
+  | Fma (a, b, c) ->
+      Float.fma (eval_float a ~data x) (eval_float b ~data x)
+        (eval_float c ~data x)
+
+let eval_rat e ~data x =
+  let consts = Array.map Rat.of_float data in
+  let rec go = function
+    | Var -> x
+    | Const i -> consts.(i)
+    | Add (a, b) -> Rat.add (go a) (go b)
+    | Mul (a, b) -> Rat.mul (go a) (go b)
+    | Fma (a, b, c) -> Rat.add (Rat.mul (go a) (go b)) (go c)
+  in
+  go e
+
+type cost = { mults : int; adds : int; fmas : int; depth : int }
+
+(* Physical identity gives DAG sharing; node counts are small, so a linear
+   scan of visited nodes is fine. *)
+let cost e =
+  let visited : (Obj.t * int) list ref = ref [] in
+  let mults = ref 0 and adds = ref 0 and fmas = ref 0 in
+  let rec depth e =
+    let key = Obj.repr e in
+    match List.assq_opt key !visited with
+    | Some d -> d
+    | None ->
+        let d =
+          match e with
+          | Var | Const _ -> 0
+          | Add (a, b) ->
+              incr adds;
+              1 + Stdlib.max (depth a) (depth b)
+          | Mul (a, b) ->
+              incr mults;
+              1 + Stdlib.max (depth a) (depth b)
+          | Fma (a, b, c) ->
+              incr fmas;
+              1 + Stdlib.max (depth a) (Stdlib.max (depth b) (depth c))
+        in
+        visited := (key, d) :: !visited;
+        d
+  in
+  let d = depth e in
+  { mults = !mults; adds = !adds; fmas = !fmas; depth = d }
+
+let pp_cost fmt c =
+  Format.fprintf fmt "%d mul, %d add, %d fma, depth %d" c.mults c.adds c.fmas
+    c.depth

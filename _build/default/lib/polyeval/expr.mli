@@ -1,0 +1,39 @@
+(** Tiny expression DAGs describing a polynomial evaluation scheme.
+
+    One DAG per (scheme, degree) is the single source of truth for three
+    things: the double-precision semantics (every [Add]/[Mul]/[Fma] is one
+    IEEE operation, i.e. one rounding), the exact algebraic value (used by
+    tests to check that Knuth's adaptation really is an identity), and the
+    static cost model — operation counts and critical-path depth, the
+    quantity instruction-level parallelism exploits (§4 of the paper).
+
+    Sharing is physical: building [let y = Mul (x, x) in Add (y, y)] counts
+    [y] once, exactly like common-subexpression reuse in the generated C
+    of the artifact. *)
+
+type t =
+  | Var                  (** the evaluation point [x] *)
+  | Const of int         (** index into the constant table *)
+  | Add of t * t
+  | Mul of t * t
+  | Fma of t * t * t     (** [Fma (a, b, c)] is [a*b + c] with one rounding *)
+
+(** [eval_float e ~data x]: IEEE double evaluation ([Fma] uses
+    [Float.fma]). *)
+val eval_float : t -> data:float array -> float -> float
+
+(** [eval_rat e ~data x]: exact rational evaluation (no rounding at all);
+    constants are the exact values of the doubles in [data]. *)
+val eval_rat : t -> data:float array -> Rat.t -> Rat.t
+
+type cost = {
+  mults : int;
+  adds : int;
+  fmas : int;
+  depth : int;  (** critical path length in operations, with perfect ILP *)
+}
+
+(** Unique-node operation counts and critical-path depth of the DAG. *)
+val cost : t -> cost
+
+val pp_cost : Format.formatter -> cost -> unit

@@ -1,0 +1,387 @@
+(* The four evaluation configurations of the paper plus Horner+FMA.
+
+   Each scheme is defined twice on purpose: once as an Expr DAG (reference
+   semantics + cost model) and once as a specialized closure used by the
+   benchmarks.  The test suite checks bit-for-bit agreement between the
+   two on random inputs, so the specializations cannot drift. *)
+
+type scheme = Horner | HornerFma | Knuth | Estrin | EstrinFma
+
+let paper_schemes = [ Horner; Knuth; Estrin; EstrinFma ]
+let all_schemes = [ Horner; HornerFma; Knuth; Estrin; EstrinFma ]
+
+let scheme_name = function
+  | Horner -> "horner"
+  | HornerFma -> "horner-fma"
+  | Knuth -> "knuth"
+  | Estrin -> "estrin"
+  | EstrinFma -> "estrin-fma"
+
+let scheme_of_name = function
+  | "horner" -> Some Horner
+  | "horner-fma" -> Some HornerFma
+  | "knuth" -> Some Knuth
+  | "estrin" -> Some Estrin
+  | "estrin-fma" -> Some EstrinFma
+  | _ -> None
+
+let fma = Float.fma
+
+(* ---------- direct evaluators ---------- *)
+
+let horner c x =
+  let n = Array.length c in
+  match n with
+  | 0 -> 0.0
+  | 1 -> c.(0)
+  | 2 -> c.(0) +. (x *. c.(1))
+  | 3 -> c.(0) +. (x *. (c.(1) +. (x *. c.(2))))
+  | 4 -> c.(0) +. (x *. (c.(1) +. (x *. (c.(2) +. (x *. c.(3))))))
+  | 5 ->
+      c.(0)
+      +. (x *. (c.(1) +. (x *. (c.(2) +. (x *. (c.(3) +. (x *. c.(4))))))))
+  | 6 ->
+      c.(0)
+      +. (x
+         *. (c.(1)
+            +. (x
+               *. (c.(2) +. (x *. (c.(3) +. (x *. (c.(4) +. (x *. c.(5))))))))
+         ))
+  | 7 ->
+      c.(0)
+      +. (x
+         *. (c.(1)
+            +. (x
+               *. (c.(2)
+                  +. (x
+                     *. (c.(3)
+                        +. (x *. (c.(4) +. (x *. (c.(5) +. (x *. c.(6))))))))
+               ))))
+  | _ ->
+      let acc = ref c.(n - 1) in
+      for i = n - 2 downto 0 do
+        acc := c.(i) +. (x *. !acc)
+      done;
+      !acc
+
+let horner_fma c x =
+  let n = Array.length c in
+  match n with
+  | 0 -> 0.0
+  | 1 -> c.(0)
+  | 2 -> fma x c.(1) c.(0)
+  | 3 -> fma x (fma x c.(2) c.(1)) c.(0)
+  | 4 -> fma x (fma x (fma x c.(3) c.(2)) c.(1)) c.(0)
+  | 5 -> fma x (fma x (fma x (fma x c.(4) c.(3)) c.(2)) c.(1)) c.(0)
+  | 6 ->
+      fma x (fma x (fma x (fma x (fma x c.(5) c.(4)) c.(3)) c.(2)) c.(1))
+        c.(0)
+  | 7 ->
+      fma x
+        (fma x
+           (fma x (fma x (fma x (fma x c.(6) c.(5)) c.(4)) c.(3)) c.(2))
+           c.(1))
+        c.(0)
+  | _ ->
+      let acc = ref c.(n - 1) in
+      for i = n - 2 downto 0 do
+        acc := fma x !acc c.(i)
+      done;
+      !acc
+
+(* Estrin without fma, specialized per degree.  The pairing follows
+   Algorithm 1 of the paper: v_i = u_{2i} + u_{2i+1} x, then recurse on
+   y = x^2; a trailing even coefficient passes through unpaired. *)
+
+let estrin_generic ~use_fma c x =
+  let pair a b x = if use_fma then fma b x a else a +. (b *. x) in
+  let rec go (v : float array) x =
+    let n = Array.length v in
+    if n = 1 then v.(0)
+    else begin
+      let half = (n + 1) / 2 in
+      let w =
+        Array.init half (fun i ->
+            if (2 * i) + 1 < n then pair v.(2 * i) v.((2 * i) + 1) x
+            else v.(2 * i))
+      in
+      go w (x *. x)
+    end
+  in
+  if Array.length c = 0 then 0.0 else go c x
+
+let estrin c x =
+  match Array.length c with
+  | 0 -> 0.0
+  | 1 -> c.(0)
+  | 2 -> c.(0) +. (c.(1) *. x)
+  | 3 ->
+      (* degree 2 *)
+      let t0 = c.(0) +. (c.(1) *. x) in
+      t0 +. (c.(2) *. (x *. x))
+  | 4 ->
+      (* degree 3 *)
+      let t0 = c.(0) +. (c.(1) *. x) in
+      let t1 = c.(2) +. (c.(3) *. x) in
+      t0 +. (t1 *. (x *. x))
+  | 5 ->
+      (* degree 4 *)
+      let t0 = c.(0) +. (c.(1) *. x) in
+      let t1 = c.(2) +. (c.(3) *. x) in
+      let y = x *. x in
+      let s = t0 +. (t1 *. y) in
+      s +. (c.(4) *. (y *. y))
+  | 6 ->
+      (* degree 5 *)
+      let t0 = c.(0) +. (c.(1) *. x) in
+      let t1 = c.(2) +. (c.(3) *. x) in
+      let t2 = c.(4) +. (c.(5) *. x) in
+      let y = x *. x in
+      let s = t0 +. (t1 *. y) in
+      s +. (t2 *. (y *. y))
+  | 7 ->
+      (* degree 6 *)
+      let t0 = c.(0) +. (c.(1) *. x) in
+      let t1 = c.(2) +. (c.(3) *. x) in
+      let t2 = c.(4) +. (c.(5) *. x) in
+      let y = x *. x in
+      let s0 = t0 +. (t1 *. y) in
+      let s1 = t2 +. (c.(6) *. y) in
+      s0 +. (s1 *. (y *. y))
+  | _ -> estrin_generic ~use_fma:false c x
+
+let estrin_fma c x =
+  match Array.length c with
+  | 0 -> 0.0
+  | 1 -> c.(0)
+  | 2 -> fma c.(1) x c.(0)
+  | 3 ->
+      let t0 = fma c.(1) x c.(0) in
+      fma c.(2) (x *. x) t0
+  | 4 ->
+      let t0 = fma c.(1) x c.(0) in
+      let t1 = fma c.(3) x c.(2) in
+      fma t1 (x *. x) t0
+  | 5 ->
+      let t0 = fma c.(1) x c.(0) in
+      let t1 = fma c.(3) x c.(2) in
+      let y = x *. x in
+      let s = fma t1 y t0 in
+      fma c.(4) (y *. y) s
+  | 6 ->
+      let t0 = fma c.(1) x c.(0) in
+      let t1 = fma c.(3) x c.(2) in
+      let t2 = fma c.(5) x c.(4) in
+      let y = x *. x in
+      let s = fma t1 y t0 in
+      fma t2 (y *. y) s
+  | 7 ->
+      let t0 = fma c.(1) x c.(0) in
+      let t1 = fma c.(3) x c.(2) in
+      let t2 = fma c.(5) x c.(4) in
+      let y = x *. x in
+      let s0 = fma t1 y t0 in
+      let s1 = fma c.(6) y t2 in
+      fma s1 (y *. y) s0
+  | _ -> estrin_generic ~use_fma:true c x
+
+(* Knuth's adapted forms: equations (3), (5) and (8). *)
+let eval_knuth ~degree (a : float array) x =
+  match degree with
+  | 4 ->
+      let y = ((x +. a.(0)) *. x) +. a.(1) in
+      (((y +. x +. a.(2)) *. y) +. a.(3)) *. a.(4)
+  | 5 ->
+      let t = x +. a.(0) in
+      let y = t *. t in
+      (((((y +. a.(1)) *. y) +. a.(2)) *. (x +. a.(3))) +. a.(4)) *. a.(5)
+  | 6 ->
+      let z = ((x +. a.(0)) *. x) +. a.(1) in
+      let w = ((x +. a.(2)) *. z) +. a.(3) in
+      (((w +. z +. a.(4)) *. w) +. a.(5)) *. a.(6)
+  | _ -> invalid_arg "Polyeval.eval_knuth: degree must be 4, 5 or 6"
+
+(* ---------- Knuth coefficient adaptation ---------- *)
+
+let adapt_knuth (u : float array) =
+  let d = Array.length u - 1 in
+  let finite a = Array.for_all Float.is_finite a in
+  match d with
+  | 4 when u.(4) <> 0.0 ->
+      (* Equation (4). *)
+      let a0 = 0.5 *. ((u.(3) /. u.(4)) -. 1.0) in
+      let beta = (u.(2) /. u.(4)) -. (a0 *. (a0 +. 1.0)) in
+      let a1 = (u.(1) /. u.(4)) -. (a0 *. beta) in
+      let a2 = beta -. (2.0 *. a1) in
+      let a3 = (u.(0) /. u.(4)) -. (a1 *. (a1 +. a2)) in
+      let a = [| a0; a1; a2; a3; u.(4) |] in
+      if finite a then Some a else None
+  | 5 when u.(5) <> 0.0 ->
+      (* Equations (6)-(7). *)
+      let p = u.(3) /. u.(5) and q = u.(4) /. u.(5) in
+      let a0 =
+        Cubic.real_root ~c3:(-40.0) ~c2:(24.0 *. q)
+          ~c1:(-2.0 *. (p +. (2.0 *. q *. q)))
+          ~c0:((p *. q) -. (u.(2) /. u.(5)))
+      in
+      let a1 = p -. (4.0 *. q *. a0) +. (10.0 *. a0 *. a0) in
+      let a3 = q -. (4.0 *. a0) in
+      let a2 =
+        (u.(1) /. u.(5))
+        -. (a0 *. a0 *. (a1 +. (a0 *. a0)))
+        -. (2.0 *. a0 *. a3 *. (a1 +. (2.0 *. a0 *. a0)))
+      in
+      let a4 =
+        (u.(0) /. u.(5)) -. (a2 *. a3) -. (a0 *. a0 *. a3 *. (a1 +. (a0 *. a0)))
+      in
+      let a = [| a0; a1; a2; a3; a4; u.(5) |] in
+      if finite a then Some a else None
+  | 6 when u.(6) <> 0.0 ->
+      (* Equations (9)-(12), after normalizing the leading coefficient. *)
+      let v = Array.map (fun c -> c /. u.(6)) u in
+      let b1 = 0.5 *. (v.(5) -. 1.0) in
+      let b2 = v.(4) -. (b1 *. (b1 +. 1.0)) in
+      let b3 = v.(3) -. (b1 *. b2) in
+      let b4 = b1 -. b2 in
+      let b5 = v.(2) -. (b1 *. b3) in
+      let b6 =
+        Cubic.real_root ~c3:2.0
+          ~c2:((2.0 *. b4) -. b2 +. 1.0)
+          ~c1:((2.0 *. b5) -. (b2 *. b4) -. b3)
+          ~c0:(v.(1) -. (b2 *. b5))
+      in
+      let b7 = (b6 *. b6) +. (b4 *. b6) +. b5 in
+      let b8 = b3 -. b6 -. b7 in
+      let a0 = b2 -. (2.0 *. b6) in
+      let a2 = b1 -. a0 in
+      let a1 = b6 -. (a0 *. a2) in
+      let a3 = b7 -. (a1 *. a2) in
+      let a4 = b8 -. b7 -. a1 in
+      let a5 = v.(0) -. (b7 *. b8) in
+      let a = [| a0; a1; a2; a3; a4; a5; u.(6) |] in
+      if finite a then Some a else None
+  | _ -> None
+
+(* ---------- DAG builders ---------- *)
+
+let horner_expr ~use_fma degree =
+  let open Expr in
+  let rec build i acc =
+    if i < 0 then acc
+    else
+      build (i - 1)
+        (if use_fma then Fma (acc, Var, Const i)
+         else Add (Const i, Mul (acc, Var)))
+  in
+  if degree = 0 then Const 0 else build (degree - 1) (Const degree)
+
+let estrin_expr ~use_fma degree =
+  let open Expr in
+  let pair lo hi x = if use_fma then Fma (hi, x, lo) else Add (lo, Mul (hi, x)) in
+  let rec go (v : Expr.t array) x =
+    let n = Array.length v in
+    if n = 1 then v.(0)
+    else begin
+      let half = (n + 1) / 2 in
+      let w =
+        Array.init half (fun i ->
+            if (2 * i) + 1 < n then pair v.(2 * i) v.((2 * i) + 1) x
+            else v.(2 * i))
+      in
+      go w (Mul (x, x))
+    end
+  in
+  go (Array.init (degree + 1) (fun i -> Const i)) Var
+
+let knuth_expr degree =
+  let open Expr in
+  match degree with
+  | 4 ->
+      let y = Add (Mul (Add (Var, Const 0), Var), Const 1) in
+      Mul (Add (Mul (Add (Add (y, Var), Const 2), y), Const 3), Const 4)
+  | 5 ->
+      let t = Add (Var, Const 0) in
+      let y = Mul (t, t) in
+      let inner = Add (Mul (Add (y, Const 1), y), Const 2) in
+      Mul (Add (Mul (inner, Add (Var, Const 3)), Const 4), Const 5)
+  | 6 ->
+      let z = Add (Mul (Add (Var, Const 0), Var), Const 1) in
+      let w = Add (Mul (Add (Var, Const 2), z), Const 3) in
+      Mul (Add (Mul (Add (Add (w, z), Const 4), w), Const 5), Const 6)
+  | _ -> invalid_arg "Polyeval.scheme_expr: Knuth needs degree 4, 5 or 6"
+
+let scheme_expr scheme ~degree =
+  match scheme with
+  | Horner -> horner_expr ~use_fma:false degree
+  | HornerFma -> horner_expr ~use_fma:true degree
+  | Estrin -> estrin_expr ~use_fma:false degree
+  | EstrinFma -> estrin_expr ~use_fma:true degree
+  | Knuth -> knuth_expr degree
+
+(* ---------- compilation ---------- *)
+
+type compiled = {
+  scheme : scheme;
+  degree : int;
+  data : float array;
+  expr : Expr.t;
+  eval : float -> float;
+}
+
+let compile scheme coeffs =
+  let degree = Array.length coeffs - 1 in
+  if degree < 0 then None
+  else
+    match scheme with
+    | Horner ->
+        Some
+          {
+            scheme;
+            degree;
+            data = coeffs;
+            expr = horner_expr ~use_fma:false degree;
+            eval = horner coeffs;
+          }
+    | HornerFma ->
+        Some
+          {
+            scheme;
+            degree;
+            data = coeffs;
+            expr = horner_expr ~use_fma:true degree;
+            eval = horner_fma coeffs;
+          }
+    | Estrin ->
+        Some
+          {
+            scheme;
+            degree;
+            data = coeffs;
+            expr = estrin_expr ~use_fma:false degree;
+            eval = estrin coeffs;
+          }
+    | EstrinFma ->
+        Some
+          {
+            scheme;
+            degree;
+            data = coeffs;
+            expr = estrin_expr ~use_fma:true degree;
+            eval = estrin_fma coeffs;
+          }
+    | Knuth -> (
+        match adapt_knuth coeffs with
+        | None -> None
+        | Some alphas ->
+            Some
+              {
+                scheme;
+                degree;
+                data = alphas;
+                expr = knuth_expr degree;
+                eval = eval_knuth ~degree alphas;
+              })
+
+let cost c = Expr.cost c.expr
+
+let eval_exact c x = Expr.eval_rat c.expr ~data:c.data x

@@ -1,0 +1,73 @@
+(** Polynomial evaluation schemes for RLibm-generated polynomials: Horner's
+    rule (the RLibm baseline), Knuth's coefficient adaptation (§3), Estrin's
+    parallel scheme (§4) and Estrin with fused multiply-add — the four
+    configurations evaluated in the paper — plus Horner-with-FMA as an
+    ablation.
+
+    A polynomial is given by its dense coefficients in increasing-power
+    order ([c.(k)] multiplies [x^k]).  {!compile} turns (scheme, coeffs)
+    into an executable double-precision evaluator with scheme-specific
+    constants: the coefficients themselves, or Knuth's adapted
+    coefficients.  Every compiled evaluator agrees bit-for-bit with the
+    reference DAG semantics in {!Expr} (enforced by the test suite), so the
+    validation step of the generation pipeline sees exactly what runs at
+    benchmark time. *)
+
+type scheme = Horner | HornerFma | Knuth | Estrin | EstrinFma
+
+(** The four configurations of the paper, in Table 1/2 order. *)
+val paper_schemes : scheme list
+
+val all_schemes : scheme list
+val scheme_name : scheme -> string
+val scheme_of_name : string -> scheme option
+
+type compiled = {
+  scheme : scheme;
+  degree : int;
+  data : float array;
+      (** dense coefficients, or Knuth's adapted coefficients *)
+  expr : Expr.t;  (** reference semantics and cost model *)
+  eval : float -> float;  (** fast evaluator, bit-identical to [expr] *)
+}
+
+(** [compile scheme coeffs] prepares an evaluator.  Returns [None] when the
+    scheme cannot handle the polynomial: Knuth adaptation is defined for
+    degrees 4–6 only (RLibm never generates higher degrees; lower ones are
+    cheap already) and requires the adapted coefficients to be finite. *)
+val compile : scheme -> float array -> compiled option
+
+val cost : compiled -> Expr.cost
+
+(** {1 Direct evaluators} *)
+
+val horner : float array -> float -> float
+val horner_fma : float array -> float -> float
+val estrin : float array -> float -> float
+val estrin_fma : float array -> float -> float
+
+(** [eval_knuth ~degree alphas x] evaluates the adapted forms of equations
+    (3), (5) and (8) of the paper.  [degree] must be 4, 5 or 6 and
+    [alphas] must have [degree + 1] entries. *)
+val eval_knuth : degree:int -> float array -> float -> float
+
+(** {1 Knuth coefficient adaptation} *)
+
+(** [adapt_knuth coeffs] computes the adapted coefficients for a dense
+    polynomial of degree 4, 5 or 6 (equations (4), (6)–(7), (9)–(12)).
+    Degrees 5 and 6 solve a cubic with {!Cubic.real_root} in double
+    precision, exactly as the paper's prototype does.  [None] when the
+    degree is unsupported, the leading coefficient is zero, or the
+    adaptation produces non-finite values. *)
+val adapt_knuth : float array -> float array option
+
+(** {1 Scheme DAGs} *)
+
+(** [scheme_expr scheme ~degree] is the evaluation DAG; for [Knuth] the
+    constants are the adapted coefficients, otherwise the dense ones.
+    @raise Invalid_argument for [Knuth] with degree outside 4–6. *)
+val scheme_expr : scheme -> degree:int -> Expr.t
+
+(** Exact algebraic value computed by a compiled evaluator (no rounding);
+    for Horner/Estrin variants this equals the dense polynomial. *)
+val eval_exact : compiled -> Rat.t -> Rat.t

@@ -1,0 +1,1 @@
+lib/rlibm/config.ml: Oracle Softfp

@@ -1,0 +1,1 @@
+lib/rlibm/constraints.ml: Array Config Filename Float Hashtbl Int64 Intervals Marshal Oracle Printf Rat Reduction Softfp Sys

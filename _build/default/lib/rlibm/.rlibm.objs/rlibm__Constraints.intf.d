@@ -1,0 +1,1 @@
+lib/rlibm/constraints.mli: Config Hashtbl Intervals Reduction

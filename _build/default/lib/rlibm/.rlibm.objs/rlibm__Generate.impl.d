@@ -1,0 +1,1 @@
+lib/rlibm/generate.ml: Array Config Constraints Float Fun Hashtbl List Lp Oracle Polyeval Printf Random Rat Reduction Softfp Stdlib

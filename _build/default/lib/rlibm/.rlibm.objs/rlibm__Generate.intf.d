@@ -1,0 +1,1 @@
+lib/rlibm/generate.mli: Config Constraints Hashtbl Oracle Polyeval Reduction

@@ -1,0 +1,1 @@
+lib/rlibm/intervals.ml: Float Softfp

@@ -1,0 +1,1 @@
+lib/rlibm/intervals.mli: Softfp

@@ -1,0 +1,1 @@
+lib/rlibm/reduction.ml: Array Float Hashtbl Oracle Rat Softfp Stdlib

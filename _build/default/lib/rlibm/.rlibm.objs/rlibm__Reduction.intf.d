@@ -1,0 +1,1 @@
+lib/rlibm/reduction.mli: Oracle Rat Softfp

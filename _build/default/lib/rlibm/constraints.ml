@@ -1,0 +1,167 @@
+(* Constraint construction: CalcRndIntervals + CalcRedIntervals +
+   CombineRedIntervals of the RLibm pipeline (Figure 1 / Section 2).
+
+   For every covered input x we obtain the oracle's round-to-odd result in
+   the widened target, turn it into a rounding interval in H = binary64
+   (Intervals), pull the interval back through the inverse of the output
+   compensation, repair the boundaries against the *actual* double OC
+   (AdjHigher/AdjLower of CalculateL'), and merge constraints that share a
+   reduced input (CalculatePhi). *)
+
+type point = {
+  r : float;
+  piece : int;
+  mutable lo : float;
+  mutable hi : float;
+  mutable xs : int64 list;  (* input patterns merged into this constraint *)
+}
+
+type build_result = {
+  points : point array array;  (* indexed by piece *)
+  immediate_specials : (int64 * float) list;
+      (* inputs whose constraint could not be expressed; the stored result
+         is the decoded oracle value, which always lies in the rounding
+         interval *)
+  oracle : (int64, int64) Hashtbl.t;  (* input bits -> round-to-odd bits *)
+}
+
+(* Pull [iv] back through the output compensation: exact inverse first,
+   then nudge the double endpoints until the real OC maps them inside the
+   target interval.  Returns None when no double survives. *)
+let reduced_interval (red : Reduction.reduced) (iv : Intervals.t) =
+  let inside v = iv.Intervals.lo <= v && v <= iv.Intervals.hi in
+  let g_lo = ref (Rat.to_float_dir Rat.Up (red.oc_inv (Rat.of_float iv.Intervals.lo))) in
+  let g_hi = ref (Rat.to_float_dir Rat.Down (red.oc_inv (Rat.of_float iv.Intervals.hi))) in
+  let budget = ref 256 in
+  while !budget > 0 && !g_lo <= !g_hi && not (inside (red.oc !g_lo)) do
+    g_lo := Float.succ !g_lo;
+    decr budget
+  done;
+  while !budget > 0 && !g_lo <= !g_hi && not (inside (red.oc !g_hi)) do
+    g_hi := Float.pred !g_hi;
+    decr budget
+  done;
+  if !budget > 0 && !g_lo <= !g_hi && inside (red.oc !g_lo) && inside (red.oc !g_hi)
+  then Some (!g_lo, !g_hi)
+  else None
+
+(* The oracle results are the expensive part of generation and depend only
+   on (function, input format, target format) — share them across the four
+   evaluation schemes, and persist them to disk (the moral equivalent of
+   the artifact's pre-generated oracle files) so repeated runs of the
+   tests, benchmarks and examples do not re-pay the Ziv loops.  Set
+   RLIBM_NO_DISK_CACHE to disable persistence. *)
+let oracle_cache : (string, (int64, int64) Hashtbl.t) Hashtbl.t =
+  Hashtbl.create 8
+
+let cache_dir = ".oracle-cache"
+
+let disk_cache_enabled () = Sys.getenv_opt "RLIBM_NO_DISK_CACHE" = None
+
+let load_disk key : (int64, int64) Hashtbl.t option =
+  let path = Filename.concat cache_dir key in
+  if disk_cache_enabled () && Sys.file_exists path then
+    try
+      let ic = open_in_bin path in
+      let t = (Marshal.from_channel ic : (int64, int64) Hashtbl.t) in
+      close_in ic;
+      Some t
+    with _ -> None
+  else None
+
+let save_disk key (t : (int64, int64) Hashtbl.t) =
+  if disk_cache_enabled () then
+    try
+      if not (Sys.file_exists cache_dir) then Sys.mkdir cache_dir 0o755;
+      let path = Filename.concat cache_dir key in
+      let oc = open_out_bin (path ^ ".tmp") in
+      Marshal.to_channel oc t [];
+      close_out oc;
+      Sys.rename (path ^ ".tmp") path
+    with _ -> ()
+
+let oracle_table ~func ~(tin : Softfp.fmt) ~(tout : Softfp.fmt) =
+  let key =
+    Printf.sprintf "%s-%d-%d-%d" (Oracle.name func) tin.Softfp.ebits
+      tin.Softfp.prec tout.Softfp.prec
+  in
+  match Hashtbl.find_opt oracle_cache key with
+  | Some t -> t
+  | None ->
+      let t =
+        match load_disk key with Some t -> t | None -> Hashtbl.create 4096
+      in
+      Hashtbl.replace oracle_cache key t;
+      t
+
+let persist_oracle_table ~func ~(tin : Softfp.fmt) ~(tout : Softfp.fmt) =
+  let key =
+    Printf.sprintf "%s-%d-%d-%d" (Oracle.name func) tin.Softfp.ebits
+      tin.Softfp.prec tout.Softfp.prec
+  in
+  match Hashtbl.find_opt oracle_cache key with
+  | Some t -> save_disk key t
+  | None -> ()
+
+let build ~(cfg : Config.t) ~(family : Reduction.t) ~(inputs : int64 array) =
+  let tin = cfg.tin and tout = Config.tout cfg in
+  let oracle = oracle_table ~func:family.func ~tin ~tout in
+  let table : (int * int64, point) Hashtbl.t =
+    Hashtbl.create (Array.length inputs)
+  in
+  let specials = ref [] in
+  Array.iter
+    (fun x ->
+      if Softfp.is_finite tin x then begin
+        let xf = Softfp.to_float tin x in
+        match family.shortcut xf with
+        | Some _ -> () (* analytic fast path; checked during verification *)
+        | None ->
+            let y =
+              match Hashtbl.find_opt oracle x with
+              | Some y -> y
+              | None ->
+                  let y =
+                    Oracle.correctly_round family.func (Softfp.to_rat tin x)
+                      ~fmt:tout ~mode:Softfp.RTO
+                  in
+                  Hashtbl.replace oracle x y;
+                  y
+            in
+            let iv = Intervals.of_round_to_odd tout y in
+            let red = family.reduce xf in
+            (match reduced_interval red iv with
+            | None -> specials := (x, Softfp.to_float tout y) :: !specials
+            | Some (lo, hi) -> (
+                let key = (red.piece, Int64.bits_of_float red.r) in
+                match Hashtbl.find_opt table key with
+                | None ->
+                    Hashtbl.replace table key
+                      { r = red.r; piece = red.piece; lo; hi; xs = [ x ] }
+                | Some pt ->
+                    (* CalculatePhi: intersect intervals sharing a reduced
+                       input; an empty intersection demotes the newcomer to
+                       a special case. *)
+                    let nlo = Float.max pt.lo lo and nhi = Float.min pt.hi hi in
+                    if nlo <= nhi then begin
+                      pt.lo <- nlo;
+                      pt.hi <- nhi;
+                      pt.xs <- x :: pt.xs
+                    end
+                    else specials := (x, Softfp.to_float tout y) :: !specials))
+      end)
+    inputs;
+  persist_oracle_table ~func:family.func ~tin ~tout;
+  let points = Array.make family.pieces [] in
+  Hashtbl.iter
+    (fun _ pt -> points.(pt.piece) <- pt :: points.(pt.piece))
+    table;
+  let points =
+    Array.map
+      (fun l ->
+        let a = Array.of_list l in
+        Array.sort (fun a b -> Float.compare a.r b.r) a;
+        a)
+      points
+  in
+  { points; immediate_specials = !specials; oracle }

@@ -1,0 +1,47 @@
+(** Constraint construction: CalcRndIntervals, CalcRedIntervals and
+    CombineRedIntervals of the RLibm pipeline.
+
+    Every covered input contributes the rounding interval of its
+    round-to-odd oracle result, pulled back through the inverse output
+    compensation and repaired against the actual double OC; constraints
+    that share a reduced input are intersected (CalculatePhi).  Oracle
+    results are memoized in-process and on disk (./.oracle-cache, disable
+    with RLIBM_NO_DISK_CACHE) since they are shared by all four evaluation
+    schemes. *)
+
+type point = {
+  r : float;  (** reduced input *)
+  piece : int;
+  mutable lo : float;  (** current reduced interval (mutated by the
+                           generation loop's ConstrainInterval) *)
+  mutable hi : float;
+  mutable xs : int64 list;  (** input patterns merged into this point *)
+}
+
+type build_result = {
+  points : point array array;
+      (** per piece, sorted by reduced input; intervals are nonempty *)
+  immediate_specials : (int64 * float) list;
+      (** inputs whose constraint could not be expressed (empty reduced
+          interval or empty intersection); the stored double is the
+          decoded oracle result, which always lies in the rounding
+          interval *)
+  oracle : (int64, int64) Hashtbl.t;
+      (** input bits -> round-to-odd result bits, for every non-shortcut
+          input *)
+}
+
+(** [reduced_interval red iv] pulls [iv] back through [red]'s output
+    compensation: exact rational inverse first, then the
+    AdjHigher/AdjLower fix-up loop of CalculateL' against the actual
+    double OC.  [None] when no double reduced value maps inside [iv]. *)
+val reduced_interval :
+  Reduction.reduced -> Intervals.t -> (float * float) option
+
+(** [build ~cfg ~family ~inputs] assembles the merged constraint set for
+    the given input patterns (finite ones; others are ignored). *)
+val build :
+  cfg:Config.t ->
+  family:Reduction.t ->
+  inputs:int64 array ->
+  build_result

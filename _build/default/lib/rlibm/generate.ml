@@ -1,0 +1,351 @@
+(* Algorithm 2 of the paper: the generate / adapt / validate / constrain
+   loop, with the fast polynomial evaluation integrated *inside* the
+   generation process.
+
+   Per piece:
+
+     1. solve the LP over the current (possibly shrunken) reduced
+        intervals (RlibmLPSolve);
+     2. round the exact rational coefficients to doubles and compile them
+        for the requested evaluation scheme — for Knuth this performs the
+        coefficient adaptation (AdaptCoeffsOrParallelFMA);
+     3. evaluate the compiled scheme in real double arithmetic on every
+        reduced input and compare against the reduced intervals;
+     4. shrink the violated bound of each failing constraint by one double
+        ulp (ConstrainInterval) and repeat; constraints whose interval
+        empties become special-case inputs.
+
+   The driver escalates the polynomial degree when a piece cannot be
+   satisfied within the round/special budgets. *)
+
+type piece_outcome =
+  | Done of { compiled : Polyeval.compiled; specials : int64 list; rounds : int }
+  | Scheme_na  (* the scheme cannot express this degree (Knuth outside 4-6) *)
+  | Unsat
+
+let copy_points pts =
+  Array.map
+    (fun (p : Constraints.point) -> { p with Constraints.xs = p.xs })
+    pts
+
+(* Solve one piece at a fixed degree.
+
+   Validation always runs against the *original* rounding intervals — the
+   true requirement.  The shrunken copies only exist to pressure the LP
+   into different vertices (ConstrainInterval).  A point whose working
+   interval empties stops constraining the LP ("retires"), but candidates
+   are still validated against its original interval, so a lucky candidate
+   can rescue it from special-casing.
+
+   Across rounds we remember the candidate violating the fewest *inputs*
+   (not reduced points): when the round budget runs out, that candidate
+   ships and its violated inputs become the special cases — this is how
+   the artifact's generator "searches for a polynomial with the minimum
+   number of special inputs". *)
+let solve_piece ?(log = fun _ -> ()) ~scheme ~degree ~max_rounds ~max_specials
+    (points : Constraints.point array) =
+  let n = Array.length points in
+  let pts = copy_points points in
+  let orig_lo = Array.map (fun (p : Constraints.point) -> p.lo) points in
+  let orig_hi = Array.map (fun (p : Constraints.point) -> p.hi) points in
+  (* Degenerate constraints (exactly representable results) cannot shrink;
+     they stay in the LP and, when violated by the double evaluation, drive
+     the neighbour perturbation below. *)
+  let degenerate = Array.init n (fun i -> orig_lo.(i) = orig_hi.(i)) in
+  let active = Array.make n true in
+  (* [points] arrive sorted by reduced input, so neighbours are adjacent. *)
+  let powers = Array.init (degree + 1) Fun.id in
+  let inputs_of idxs =
+    List.concat_map (fun i -> pts.(i).Constraints.xs) idxs
+  in
+  (* Warm-start bookkeeping: the LP reports working-set positions within
+     the array it was handed; convert to and from global indices. *)
+  let warm_global = ref [] in
+  let best = ref None (* (violated-input count, compiled, violated idxs) *) in
+  let stagnant = ref 0 in
+  let na_rounds = ref 0 in
+  (* Deterministic tilt source: vertex walking must be reproducible. *)
+  let rng = Random.State.make [| 0x51bb; degree; n |] in
+  let random_tilt () =
+    let t =
+      Array.init (degree + 1) (fun _ ->
+          Rat.mul_pow2 (Rat.of_int (Random.State.int rng 65537 - 32768)) (-56))
+    in
+    (* Knuth's adaptation divides by the leading coefficient, so a vertex
+       with a tiny one (common when a lower degree would already suffice)
+       is numerically useless; bias the walk toward larger |c_d|. *)
+    if scheme = Polyeval.Knuth then t.(degree) <- Rat.of_ints 1 64;
+    t
+  in
+  (* Validate a compiled candidate against the original intervals. *)
+  let validate (compiled : Polyeval.compiled) =
+    let violated = ref [] in
+    for i = n - 1 downto 0 do
+      let v = compiled.Polyeval.eval pts.(i).Constraints.r in
+      if not (orig_lo.(i) <= v && v <= orig_hi.(i)) then violated := i :: !violated
+    done;
+    !violated
+  in
+  (* Ulp-level local search around an LP candidate: the LP fixes the
+     rational feasible region, but whether the *double* evaluation of the
+     compiled scheme lands inside every interval depends on last-ulp
+     effects the LP cannot see.  Dithering each coefficient by a few ulps
+     and re-validating (microseconds per trial) explores that space far
+     faster than re-solving the LP — it is this reproduction's analogue of
+     the artifact generator's hours-long search for a polynomial with the
+     minimum number of special-case inputs. *)
+  let dither coeffs0 seed_best =
+    let best_local = ref seed_best in
+    let coeffs = Array.copy coeffs0 in
+    let trials = 400 in
+    (try
+       for _ = 1 to trials do
+         Array.blit coeffs0 0 coeffs 0 (Array.length coeffs0);
+         let k = 1 + Random.State.int rng (Array.length coeffs - 1) in
+         for _ = 1 to k do
+           let j = Random.State.int rng (Array.length coeffs) in
+           let steps = 1 + Random.State.int rng 3 in
+           let c = ref coeffs.(j) in
+           for _ = 1 to steps do
+             c := if Random.State.bool rng then Float.succ !c else Float.pred !c
+           done;
+           coeffs.(j) <- !c
+         done;
+         match Polyeval.compile scheme coeffs with
+         | None -> ()
+         | Some cand ->
+             let violated = validate cand in
+             let nv = List.length (inputs_of violated) in
+             (match !best_local with
+             | Some (bn, _, _) when bn <= nv -> ()
+             | _ -> best_local := Some (nv, cand, violated));
+             if nv = 0 then raise Exit
+       done
+     with Exit -> ());
+    !best_local
+  in
+  let rec loop round =
+    let finish () =
+      match !best with
+      | Some (nv, compiled, violated) when nv <= max_specials ->
+          Done { compiled; specials = inputs_of violated; rounds = round }
+      | _ -> Unsat
+    in
+    if round > max_rounds || !stagnant > 6 then finish ()
+    else begin
+      let act_idx =
+        Array.of_list
+          (List.filter (fun i -> active.(i)) (List.init n Fun.id))
+      in
+      let lp_points =
+        Array.map
+          (fun i ->
+            let p = pts.(i) in
+            { Lp.x = Rat.of_float p.Constraints.r;
+              lo = Rat.of_float p.Constraints.lo;
+              hi = Rat.of_float p.Constraints.hi })
+          act_idx
+      in
+      let pos_of_global = Hashtbl.create 64 in
+      Array.iteri (fun pos g -> Hashtbl.replace pos_of_global g pos) act_idx;
+      let initial_working =
+        List.filter_map (fun g -> Hashtbl.find_opt pos_of_global g) !warm_global
+      in
+      let tilt = if round = 1 then None else Some (random_tilt ()) in
+      match
+        Lp.solve_interval_system ~initial_working ?tilt ~mono_bits:64 ~powers
+          lp_points
+      with
+      | Lp.Unsat ->
+          log
+            (Printf.sprintf "degree %d: LP infeasible at round %d" degree round);
+          finish ()
+      | Lp.Sat (coeffs_rat, working) -> (
+          warm_global := List.map (fun pos -> act_idx.(pos)) working;
+          let coeffs = Array.map Rat.to_float coeffs_rat in
+          match Polyeval.compile scheme coeffs with
+          | None ->
+              (* The scheme rejected these coefficients (e.g. Knuth with a
+                 ~zero leading coefficient).  The tilt biases later rounds
+                 toward usable vertices, so keep iterating for a while
+                 before declaring the scheme inapplicable. *)
+              incr na_rounds;
+              if !na_rounds > 6 || (scheme = Polyeval.Knuth && (degree < 4 || degree > 6))
+              then Scheme_na
+              else loop (round + 1)
+          | Some compiled -> (
+              na_rounds := 0;
+              (* Validate the actual double evaluation against the
+                 original intervals, then dither around the candidate. *)
+              let violated0 = validate compiled in
+              let nv0 = List.length (inputs_of violated0) in
+              match
+                if nv0 = 0 then Some (0, compiled, [])
+                else dither coeffs (Some (nv0, compiled, violated0))
+              with
+              | None -> assert false
+              | Some (n_viol, compiled, violated) ->
+              let violated = ref violated in
+              (match !best with
+              | Some (nv, _, _) when nv <= n_viol -> incr stagnant
+              | _ ->
+                  stagnant := 0;
+                  best := Some (n_viol, compiled, !violated));
+              if n_viol = 0 then Done { compiled; specials = []; rounds = round }
+              else begin
+                (* ConstrainInterval: shrink the violated side of the
+                   *working* interval by one ulp of H.  Degenerate and
+                   retired points cannot shrink themselves; instead we
+                   shrink their nearest active neighbours in the direction
+                   that pushes the polynomial toward the missed target, so
+                   the LP keeps producing *different* candidates — this is
+                   the cheap analogue of the artifact generator's long
+                   search for a polynomial with minimal special cases. *)
+                let shrink_toward i up =
+                  (* Returns true if it actually shrank. *)
+                  let p = pts.(i) in
+                  if
+                    active.(i)
+                    && (not degenerate.(i))
+                    && Float.succ p.Constraints.lo < p.Constraints.hi
+                  then begin
+                    if up then p.Constraints.lo <- Float.succ p.Constraints.lo
+                    else p.Constraints.hi <- Float.pred p.Constraints.hi;
+                    true
+                  end
+                  else false
+                in
+                let nudge_neighbours i up =
+                  (* Walk outward from i over the (r-sorted) points. *)
+                  let shrunk = ref 0 in
+                  let radius = ref 1 in
+                  while !shrunk < 4 && !radius < n do
+                    if i - !radius >= 0 && shrink_toward (i - !radius) up then
+                      incr shrunk;
+                    if i + !radius < n && shrink_toward (i + !radius) up then
+                      incr shrunk;
+                    incr radius
+                  done
+                in
+                List.iter
+                  (fun i ->
+                    let p = pts.(i) in
+                    let v = compiled.Polyeval.eval p.Constraints.r in
+                    let up = Float.is_nan v || v < orig_lo.(i) in
+                    if active.(i) && not degenerate.(i) then begin
+                      if up then
+                        p.Constraints.lo <- Float.succ p.Constraints.lo
+                      else p.Constraints.hi <- Float.pred p.Constraints.hi;
+                      if p.Constraints.lo > p.Constraints.hi then
+                        active.(i) <- false
+                    end
+                    else nudge_neighbours i up)
+                  !violated;
+                log
+                  (Printf.sprintf "degree %d round %d: %d violated inputs"
+                     degree round n_viol);
+                loop (round + 1)
+              end))
+    end
+  in
+  loop 1
+
+type generated = {
+  cfg : Config.t;
+  family : Reduction.t;
+  scheme : Polyeval.scheme;
+  pieces : Polyeval.compiled array;
+  specials : (int64, float) Hashtbl.t;  (* input bits -> double result *)
+  oracle : (int64, int64) Hashtbl.t;  (* input bits -> round-to-odd bits *)
+  degrees : int array;  (* per piece *)
+  rounds : int array;  (* per piece *)
+  n_constraints : int array;  (* per piece *)
+}
+
+let n_specials g = Hashtbl.length g.specials
+
+let run ?(log = fun _ -> ()) ~(cfg : Config.t) ~scheme ~func
+    ~(inputs : int64 array) () =
+  let tout = Config.tout cfg in
+  let family =
+    Reduction.make func ~out_fmt:tout ~pieces:cfg.pieces
+      ~table_bits:cfg.table_bits
+  in
+  let built = Constraints.build ~cfg ~family ~inputs in
+  let specials = Hashtbl.create 16 in
+  List.iter
+    (fun (x, v) -> Hashtbl.replace specials x v)
+    built.immediate_specials;
+  let decoded_result x =
+    Softfp.to_float tout (Hashtbl.find built.oracle x)
+  in
+  let pieces = Array.length built.points in
+  let compiled = Array.make pieces None in
+  let degrees = Array.make pieces 0 in
+  let rounds = Array.make pieces 0 in
+  let n_constraints = Array.map Array.length built.points in
+  let failure = ref None in
+  for pi = 0 to pieces - 1 do
+    if !failure = None then begin
+      let pts = built.points.(pi) in
+      if Array.length pts = 0 then begin
+        compiled.(pi) <- Polyeval.compile scheme [| 0.0 |];
+        degrees.(pi) <- 0
+      end
+      else begin
+        (* Degree escalation; Knuth only exists for 4-6, so start there. *)
+        let d0 =
+          match scheme with
+          | Polyeval.Knuth -> Stdlib.max cfg.min_degree 4
+          | _ -> cfg.min_degree
+        in
+        let rec try_degree d =
+          if d > cfg.max_degree then
+            failure :=
+              Some
+                (Printf.sprintf "%s/%s piece %d: no polynomial up to degree %d"
+                   (Oracle.name func) (Polyeval.scheme_name scheme) pi
+                   cfg.max_degree)
+          else begin
+            log
+              (Printf.sprintf "%s/%s piece %d: trying degree %d (%d constraints)"
+                 (Oracle.name func) (Polyeval.scheme_name scheme) pi d
+                 (Array.length pts));
+            match
+              solve_piece ~log ~scheme ~degree:d ~max_rounds:cfg.max_rounds
+                ~max_specials:cfg.max_specials pts
+            with
+            | Done { compiled = c; specials = sp; rounds = r } ->
+                compiled.(pi) <- Some c;
+                degrees.(pi) <- d;
+                rounds.(pi) <- r;
+                List.iter
+                  (fun x -> Hashtbl.replace specials x (decoded_result x))
+                  sp
+            | Scheme_na | Unsat -> try_degree (d + 1)
+          end
+        in
+        try_degree d0
+      end
+    end
+  done;
+  match !failure with
+  | Some msg -> Error msg
+  | None ->
+      let pieces =
+        Array.map
+          (function Some c -> c | None -> assert false)
+          compiled
+      in
+      Ok
+        {
+          cfg;
+          family;
+          scheme;
+          pieces;
+          specials;
+          oracle = built.oracle;
+          degrees;
+          rounds;
+          n_constraints;
+        }

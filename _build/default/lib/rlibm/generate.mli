@@ -1,0 +1,63 @@
+(** Algorithm 2 of the paper: the generate / adapt / validate / constrain
+    loop with fast polynomial evaluation integrated into generation.
+
+    Per piece and degree, {!solve_piece} iterates: solve the LP over the
+    current reduced intervals; round the rational coefficients to doubles
+    and compile them for the requested scheme (for Knuth this runs the
+    coefficient adaptation); evaluate the compiled scheme — the exact
+    sequence of double operations that ships — on every reduced input;
+    shrink the violated side of failing constraints by one double ulp and
+    re-solve.  Constraints that cannot be satisfied become special-case
+    inputs; the loop keeps the candidate with the fewest violated inputs
+    (the cheap analogue of the artifact's minimal-specials search, helped
+    by a random objective tilt that walks near-optimal LP vertices).
+    {!run} drives the per-piece degree escalation. *)
+
+type piece_outcome =
+  | Done of {
+      compiled : Polyeval.compiled;
+      specials : int64 list;  (** inputs the polynomial cannot serve *)
+      rounds : int;
+    }
+  | Scheme_na  (** scheme undefined at this degree (Knuth outside 4–6) *)
+  | Unsat
+
+val solve_piece :
+  ?log:(string -> unit) ->
+  scheme:Polyeval.scheme ->
+  degree:int ->
+  max_rounds:int ->
+  max_specials:int ->
+  Constraints.point array ->
+  piece_outcome
+
+type generated = {
+  cfg : Config.t;
+  family : Reduction.t;
+  scheme : Polyeval.scheme;
+  pieces : Polyeval.compiled array;  (** one compiled evaluator per piece *)
+  specials : (int64, float) Hashtbl.t;
+      (** input bits -> stored double result (decoded oracle value) *)
+  oracle : (int64, int64) Hashtbl.t;
+      (** oracle round-to-odd results collected during generation; shared
+          with verification *)
+  degrees : int array;  (** per piece *)
+  rounds : int array;  (** generation rounds used, per piece *)
+  n_constraints : int array;  (** merged constraint points, per piece *)
+}
+
+(** Number of special-case inputs (the Table 1 column). *)
+val n_specials : generated -> int
+
+(** [run ~cfg ~scheme ~func ~inputs ()] generates the full piecewise
+    approximation for [func] over the given input patterns.  [Error]
+    carries a description of the piece that could not be satisfied within
+    [cfg]'s degree/round/special budgets. *)
+val run :
+  ?log:(string -> unit) ->
+  cfg:Config.t ->
+  scheme:Polyeval.scheme ->
+  func:Oracle.func ->
+  inputs:int64 array ->
+  unit ->
+  (generated, string) result

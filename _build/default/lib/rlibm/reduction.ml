@@ -1,0 +1,183 @@
+(* Range reduction and output compensation (performed in H = binary64),
+   one family for the exponentials and one for the logarithms.
+
+   The exponential family reduces through t = x * log2(base):
+
+     base^x = 2^t = 2^n * 2^r,   n = floor(t),  r = t - n in [0, 1)
+
+   and output-compensates by the exact double scaling v * 2^n.  The
+   polynomial approximates 2^r on [0, 1).
+
+   The logarithm family decomposes the input as x = 2^k * m with
+   m in [1, 2), looks up F = 1 + j/2^J from the top J bits of m - 1, and
+   reduces to r = (m - F)/F in [0, 2^-J):
+
+     log_b(x) = k * log_b(2) + log_b(F) + log_b(1 + r)
+
+   The polynomial approximates log_b(1 + r); output compensation is the
+   double addition c + v with the per-input constant
+   c = k * log_b 2 + T[j] (T[j] is the correctly rounded double of
+   log_b(F), produced by the oracle).
+
+   Numerical errors in either direction are harmless by construction: the
+   constraints are attached to the *computed* reduced input, and the
+   reduced intervals are validated against the *actual* double output
+   compensation (Constraints.reduced_interval), mirroring CalculateL' of
+   the RLibm papers. *)
+
+type reduced = {
+  r : float;  (** reduced input — the polynomial's argument *)
+  piece : int;  (** sub-domain index in [0, pieces) *)
+  oc : float -> float;  (** actual double output compensation *)
+  oc_inv : Rat.t -> Rat.t;  (** exact inverse of the idealized oc *)
+}
+
+type params =
+  | Exp_params of { log2_base : float }
+  | Log_params of {
+      table_bits : int;
+      table : float array;
+      k_scale : float;
+      k_exact : bool;
+    }
+
+type t = {
+  func : Oracle.func;
+  pieces : int;
+  params : params;
+  shortcut : float -> float option;
+      (* analytic fast path (deep overflow/underflow, domain errors);
+         [Some v] bypasses the polynomial entirely *)
+  reduce : float -> reduced;
+      (* valid on finite inputs for which [shortcut] returned [None] *)
+}
+
+let log2e = 1.4426950408889634 (* RN(log2 e) *)
+let log2_10 = 3.321928094887362 (* RN(log2 10) *)
+let ln2 = 0.6931471805599453 (* RN(ln 2) *)
+let log10_2 = 0.30102999566398120 (* RN(log10 2) *)
+
+(* ---------- exponential family ---------- *)
+
+let exp_family func ~out_fmt ~pieces =
+  let scale =
+    match (func : Oracle.func) with
+    | Exp -> log2e
+    | Exp2 -> 1.0
+    | Exp10 -> log2_10
+    | Log | Log2 | Log10 -> invalid_arg "Reduction.exp_family"
+  in
+  let emax = float_of_int (Softfp.emax out_fmt) in
+  let emin = Softfp.emin out_fmt and prec = out_fmt.Softfp.prec in
+  let lo_cut = float_of_int (emin - prec) -. 1.1 in
+  let v_huge = Float.ldexp 1.0 (Softfp.emax out_fmt + 1) in
+  let v_tiny = Float.ldexp 1.0 (emin - prec - 2) in
+  (* Near 1: for 0 < |t| < 2^-(prec+3) the result lies strictly between 1
+     and its neighbour in the target, so round-to-odd is that (odd)
+     neighbour and any double strictly inside the gap is a correct return
+     value.  The polynomial path cannot produce one once |t| drops below
+     double precision (1 + c1*t rounds back to 1.0), so this is an
+     analytic branch, exactly like the artifact's small-input paths. *)
+  let near_cut = Float.ldexp 1.0 (-(prec + 3)) in
+  (* Strictly inside (1, succ 1) / (pred 1, 1) of the target and strictly
+     on the correct side of every narrower format's rounding midpoint
+     (the nearest midpoints are 1 +/- 2^-(prec+1) for the full-width
+     format itself). *)
+  let v_above_one = 1.0 +. Float.ldexp 1.0 (-(prec + 1)) in
+  let v_below_one = 1.0 -. Float.ldexp 1.0 (-(prec + 2)) in
+  let shortcut x =
+    let t = x *. scale in
+    if t > emax +. 1.1 then Some v_huge
+    else if t < lo_cut then Some v_tiny
+    else if x <> 0.0 && Float.abs t < near_cut then
+      Some (if x > 0.0 then v_above_one else v_below_one)
+    else None
+  in
+  let reduce x =
+    let t = x *. scale in
+    let n = Float.floor t in
+    let r = t -. n in
+    let n = int_of_float n in
+    let piece = Stdlib.min (pieces - 1) (int_of_float (r *. float_of_int pieces)) in
+    {
+      r;
+      piece;
+      oc = (fun v -> Float.ldexp v n);
+      oc_inv = (fun q -> Rat.mul_pow2 q (-n));
+    }
+  in
+  { func; pieces; params = Exp_params { log2_base = scale }; shortcut; reduce }
+
+(* ---------- logarithm family ---------- *)
+
+(* T[j] = correctly rounded double of log_b(1 + j/2^J), from the oracle. *)
+let table_cache : (string * int, float array) Hashtbl.t = Hashtbl.create 8
+
+let log_table func ~table_bits =
+  let key = (Oracle.name func, table_bits) in
+  match Hashtbl.find_opt table_cache key with
+  | Some t -> t
+  | None ->
+      let n = 1 lsl table_bits in
+      let t =
+        Array.init n (fun j ->
+            if j = 0 then 0.0
+            else
+              Oracle.float64 func
+                (1.0 +. (float_of_int j /. float_of_int n)))
+      in
+      Hashtbl.replace table_cache key t;
+      t
+
+let log_family func ~pieces ~table_bits =
+  (match (func : Oracle.func) with
+  | Log | Log2 | Log10 -> ()
+  | Exp | Exp2 | Exp10 -> invalid_arg "Reduction.log_family");
+  let tbl = log_table func ~table_bits in
+  let tsize = float_of_int (1 lsl table_bits) in
+  let shortcut x =
+    if x = 0.0 then Some Float.neg_infinity
+    else if x < 0.0 then Some Float.nan
+    else None
+  in
+  let reduce x =
+    let m2, e2 = Float.frexp x in
+    let m = 2.0 *. m2 and k = e2 - 1 in
+    let j = int_of_float ((m -. 1.0) *. tsize) in
+    let f = 1.0 +. (float_of_int j /. tsize) in
+    let r = (m -. f) /. f in
+    let c =
+      let kf = float_of_int k in
+      match (func : Oracle.func) with
+      | Log2 -> kf +. tbl.(j)
+      | Log -> Float.fma kf ln2 tbl.(j)
+      | Log10 -> Float.fma kf log10_2 tbl.(j)
+      | _ -> assert false
+    in
+    let piece =
+      Stdlib.min (pieces - 1)
+        (int_of_float (r *. tsize *. float_of_int pieces))
+    in
+    {
+      r;
+      piece;
+      oc = (fun v -> c +. v);
+      oc_inv = (fun q -> Rat.sub q (Rat.of_float c));
+    }
+  in
+  let params =
+    let k_scale, k_exact =
+      match (func : Oracle.func) with
+      | Log2 -> (1.0, true)
+      | Log -> (ln2, false)
+      | Log10 -> (log10_2, false)
+      | _ -> assert false
+    in
+    Log_params { table_bits; table = tbl; k_scale; k_exact }
+  in
+  { func; pieces; params; shortcut; reduce }
+
+let make func ~out_fmt ~pieces ~table_bits =
+  match (func : Oracle.func) with
+  | Exp | Exp2 | Exp10 -> exp_family func ~out_fmt ~pieces
+  | Log | Log2 | Log10 -> log_family func ~pieces ~table_bits

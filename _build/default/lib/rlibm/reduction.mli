@@ -1,0 +1,54 @@
+(** Range reduction and output compensation in H = binary64 (§2).
+
+    Two families cover the paper's six functions:
+
+    - exponentials: [base^x = 2^(n + r)] with [n = floor(x * log2 base)]
+      and [r] in [[0, 1)]; output compensation is the exact double scaling
+      [v * 2^n];
+    - logarithms: [x = 2^k * m], [m] in [[1, 2)], table lookup
+      [F = 1 + j/2^J] from the top [J] bits of [m - 1], reduced input
+      [r = (m - F)/F] in [[0, 2^-J)]; output compensation is the double
+      addition [c + v] with [c = k * log_b 2 + T[j]] ([T[j]] the correctly
+      rounded double of [log_b F], obtained from the oracle).
+
+    Numerical error anywhere in this file is harmless by construction:
+    constraints attach to the {e computed} reduced input, and reduced
+    intervals are validated against the {e actual} double output
+    compensation (see {!Constraints.reduced_interval}). *)
+
+type reduced = {
+  r : float;  (** reduced input — the polynomial's argument *)
+  piece : int;  (** sub-domain index in [[0, pieces)] *)
+  oc : float -> float;  (** actual double output compensation *)
+  oc_inv : Rat.t -> Rat.t;  (** exact inverse of the idealized oc *)
+}
+
+(** Everything a code generator needs to re-emit the reduction. *)
+type params =
+  | Exp_params of { log2_base : float }
+      (** t = x * log2_base; n = floor t; r = t - n; result = p(r) * 2^n *)
+  | Log_params of {
+      table_bits : int;
+      table : float array;  (** T[j] = round(log_b(1 + j/2^J)) *)
+      k_scale : float;  (** log_b 2: the per-exponent constant *)
+      k_exact : bool;  (** true for log2, where k * k_scale is exact *)
+    }
+
+type t = {
+  func : Oracle.func;
+  pieces : int;
+  params : params;
+  shortcut : float -> float option;
+      (** analytic fast path: deep overflow/underflow for the
+          exponentials, domain errors for the logarithms; [Some v]
+          bypasses the polynomial entirely, and [v] rounds correctly in
+          every representation and mode *)
+  reduce : float -> reduced;
+      (** defined on finite doubles for which [shortcut] returns [None] *)
+}
+
+(** [make func ~out_fmt ~pieces ~table_bits] builds the reduction family
+    for [func]; [out_fmt] fixes the overflow/underflow thresholds of the
+    shortcut, [table_bits] the logarithm table size [J]. *)
+val make :
+  Oracle.func -> out_fmt:Softfp.fmt -> pieces:int -> table_bits:int -> t

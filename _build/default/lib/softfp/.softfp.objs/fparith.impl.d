@@ -1,0 +1,1 @@
+lib/softfp/fparith.ml: Int64 Rat Softfp

@@ -1,0 +1,1 @@
+lib/softfp/fparith.mli: Softfp

@@ -1,0 +1,1 @@
+lib/softfp/softfp.ml: Bigint Float Format Int32 Int64 Rat

@@ -1,0 +1,1 @@
+lib/softfp/softfp.mli: Format Rat

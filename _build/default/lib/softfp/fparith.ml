@@ -1,0 +1,90 @@
+(* Correctly rounded in-format arithmetic: decode exactly, compute in
+   rationals, round once. *)
+
+module F = Softfp
+
+(* Operand classification for the IEEE special-value rules. *)
+type operand = Nan | Inf of bool (* negative? *) | Fin of Rat.t * bool
+(* the bool on Fin is the sign bit, kept to implement signed-zero rules *)
+
+let classify fmt b =
+  match F.classify fmt b with
+  | F.NaN -> Nan
+  | F.Inf -> Inf (F.sign_bit fmt b)
+  | F.Zero | F.Subnormal | F.Normal -> Fin (F.to_rat fmt b, F.sign_bit fmt b)
+
+(* IEEE 754 §6.3 zero-sign rules.  For products/quotients the sign of an
+   exact zero is the XOR of the operand signs in every mode; for sums the
+   sign of an exact cancellation is +0 in all modes except
+   round-toward-negative, while like-signed zero sums keep their sign. *)
+let signed_zero fmt ~neg =
+  if neg then F.neg_zero_bits fmt else F.zero_bits fmt
+
+let round_product fmt mode q ~neg =
+  if Rat.is_zero q then signed_zero fmt ~neg else F.of_rat fmt mode q
+
+let round_sum fmt (mode : F.mode) q ~sa ~sb =
+  if Rat.is_zero q then
+    if sa = sb then signed_zero fmt ~neg:sa
+    else signed_zero fmt ~neg:(mode = F.RTD)
+  else F.of_rat fmt mode q
+
+let add fmt mode a b =
+  match (classify fmt a, classify fmt b) with
+  | Nan, _ | _, Nan -> F.nan_bits fmt
+  | Inf sa, Inf sb -> if sa = sb then a else F.nan_bits fmt
+  | Inf s, Fin _ | Fin _, Inf s -> F.inf_bits fmt ~neg:s
+  | Fin (qa, sa), Fin (qb, sb) -> round_sum fmt mode (Rat.add qa qb) ~sa ~sb
+
+let sub fmt mode a b =
+  (* x - y = x + (-y); flipping the sign bit covers NaN payloads too. *)
+  let nb =
+    Int64.logxor b (Int64.shift_left 1L (F.width fmt - 1))
+  in
+  add fmt mode a nb
+
+let mul fmt mode a b =
+  match (classify fmt a, classify fmt b) with
+  | Nan, _ | _, Nan -> F.nan_bits fmt
+  | Inf sa, Inf sb -> F.inf_bits fmt ~neg:(sa <> sb)
+  | Inf s, Fin (q, sq) | Fin (q, sq), Inf s ->
+      if Rat.is_zero q then F.nan_bits fmt (* 0 * inf *)
+      else F.inf_bits fmt ~neg:(s <> sq)
+  | Fin (qa, sa), Fin (qb, sb) ->
+      round_product fmt mode (Rat.mul qa qb) ~neg:(sa <> sb)
+
+let div fmt mode a b =
+  match (classify fmt a, classify fmt b) with
+  | Nan, _ | _, Nan -> F.nan_bits fmt
+  | Inf _, Inf _ -> F.nan_bits fmt
+  | Inf s, Fin (_, sq) -> F.inf_bits fmt ~neg:(s <> sq)
+  | Fin (_, sq), Inf s -> ignore mode; signed_zero fmt ~neg:(sq <> s)
+  | Fin (qa, sa), Fin (qb, sb) ->
+      if Rat.is_zero qb then
+        if Rat.is_zero qa then F.nan_bits fmt (* 0/0 *)
+        else F.inf_bits fmt ~neg:(sa <> sb)
+      else round_product fmt mode (Rat.div qa qb) ~neg:(sa <> sb)
+
+let fma fmt mode a b c =
+  match (classify fmt a, classify fmt b, classify fmt c) with
+  | Nan, _, _ | _, Nan, _ | _, _, Nan -> F.nan_bits fmt
+  | (Inf _ | Fin _), (Inf _ | Fin _), _ -> (
+      (* resolve the product's class first *)
+      let product =
+        match (classify fmt a, classify fmt b) with
+        | Inf sa, Inf sb -> `Inf (sa <> sb)
+        | Inf s, Fin (q, sq) | Fin (q, sq), Inf s ->
+            if Rat.is_zero q then `Nan else `Inf (s <> sq)
+        | Fin (qa, sa), Fin (qb, sb) -> `Fin (Rat.mul qa qb, sa <> sb)
+        | Nan, _ | _, Nan -> `Nan
+      in
+      match (product, classify fmt c) with
+      | `Nan, _ -> F.nan_bits fmt
+      | `Inf sp, Inf sc -> if sp = sc then F.inf_bits fmt ~neg:sp else F.nan_bits fmt
+      | `Inf sp, Fin _ -> F.inf_bits fmt ~neg:sp
+      | `Fin _, Inf sc -> F.inf_bits fmt ~neg:sc
+      | `Fin (qp, sp), Fin (qc, sc) ->
+          round_sum fmt mode (Rat.add qp qc) ~sa:sp ~sb:sc
+      | _, Nan -> F.nan_bits fmt)
+
+let mul_add fmt mode a b c = add fmt mode (mul fmt mode a b) c

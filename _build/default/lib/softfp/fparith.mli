@@ -1,0 +1,29 @@
+(** Correctly rounded arithmetic within a {!Softfp} format.
+
+    Exact rational arithmetic on the decoded operands followed by one
+    correctly rounded conversion — the textbook definition of IEEE-754
+    operations, valid for every format and rounding mode this library
+    models.  The headline item is {!fma}, which rounds [a*b + c] once;
+    comparing it against {!mul} followed by {!add} exhibits precisely the
+    double-rounding the paper eliminates by fusing operations (§1, §4).
+
+    NaN/infinity semantics follow IEEE-754: any NaN operand produces NaN,
+    [inf - inf], [0 * inf] and [inf * 0 + c] produce NaN, infinities
+    otherwise propagate by sign.  The sign of an exact zero result follows
+    the IEEE rules for the rounding direction. *)
+
+val add : Softfp.fmt -> Softfp.mode -> Softfp.bits -> Softfp.bits -> Softfp.bits
+val sub : Softfp.fmt -> Softfp.mode -> Softfp.bits -> Softfp.bits -> Softfp.bits
+val mul : Softfp.fmt -> Softfp.mode -> Softfp.bits -> Softfp.bits -> Softfp.bits
+val div : Softfp.fmt -> Softfp.mode -> Softfp.bits -> Softfp.bits -> Softfp.bits
+
+(** [fma fmt mode a b c] is [a*b + c] with a single rounding. *)
+val fma :
+  Softfp.fmt -> Softfp.mode -> Softfp.bits -> Softfp.bits -> Softfp.bits ->
+  Softfp.bits
+
+(** [mul_add fmt mode a b c] is the unfused [round (round (a*b) + c)] —
+    two roundings, for comparison against {!fma}. *)
+val mul_add :
+  Softfp.fmt -> Softfp.mode -> Softfp.bits -> Softfp.bits -> Softfp.bits ->
+  Softfp.bits

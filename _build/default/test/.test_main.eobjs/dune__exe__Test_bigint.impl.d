@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Bigint Float List QCheck2 QCheck_alcotest String

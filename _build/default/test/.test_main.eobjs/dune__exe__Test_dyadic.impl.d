@@ -1,0 +1,1 @@
+test/test_dyadic.ml: Alcotest Bigint Dyadic Ival QCheck2 QCheck_alcotest Rat

@@ -1,0 +1,1 @@
+test/test_fparith.ml: Alcotest Float Fparith Int32 Int64 List Printf QCheck2 QCheck_alcotest Random Rat Softfp

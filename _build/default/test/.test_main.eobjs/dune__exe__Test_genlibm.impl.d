@@ -1,0 +1,1 @@
+test/test_genlibm.ml: Alcotest Array Codegen Float Genlibm Hashtbl Int64 Lazy List Oracle Polyeval Printf Rat Rlibm Softfp String

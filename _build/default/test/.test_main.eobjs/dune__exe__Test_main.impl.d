@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bigint Test_dyadic Test_fparith Test_genlibm Test_lp Test_oracle Test_polyeval Test_rat Test_rlibm Test_softfp

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Float Int64 Ival List Oracle Printf QCheck2 QCheck_alcotest Random Rat Softfp

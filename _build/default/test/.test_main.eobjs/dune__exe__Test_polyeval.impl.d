@@ -1,0 +1,1 @@
+test/test_polyeval.ml: Alcotest Array Cubic Expr Float Fun Int64 List Lp Polyeval Printf QCheck2 QCheck_alcotest Rat

@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Bigint Float Int64 List QCheck2 QCheck_alcotest Rat

@@ -1,0 +1,1 @@
+test/test_rlibm.ml: Alcotest Array Float Int64 List Oracle Printf Rat Rlibm Softfp

@@ -1,0 +1,1 @@
+test/test_softfp.ml: Alcotest Float Int32 Int64 List Printf QCheck2 QCheck_alcotest Rat Softfp

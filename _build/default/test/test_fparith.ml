@@ -1,0 +1,171 @@
+(* Tests for correctly rounded in-format arithmetic, including the
+   fma-vs-mul+add double-rounding comparison that motivates the paper's
+   use of fused operations. *)
+
+open Softfp
+
+let b16 = binary16
+
+let enc x = of_rat b16 RNE (Rat.of_float x)
+let dec b = to_float b16 b
+
+let test_basic_ops () =
+  let check name got expect =
+    Alcotest.(check (float 0.0)) name expect (dec got)
+  in
+  check "1+2" (Fparith.add b16 RNE (enc 1.0) (enc 2.0)) 3.0;
+  check "3*7" (Fparith.mul b16 RNE (enc 3.0) (enc 7.0)) 21.0;
+  check "1/4" (Fparith.div b16 RNE (enc 1.0) (enc 4.0)) 0.25;
+  check "5-8" (Fparith.sub b16 RNE (enc 5.0) (enc 8.0)) (-3.0);
+  check "fma 2*3+4" (Fparith.fma b16 RNE (enc 2.0) (enc 3.0) (enc 4.0)) 10.0
+
+let test_against_native_binary32 () =
+  (* binary32 soft ops must agree bit-for-bit with hardware float32 ops
+     (which are correctly rounded RNE). *)
+  let f32 = binary32 in
+  let st = Random.State.make [| 99 |] in
+  for i = 1 to 300 do
+    (* For mul, the double intermediate is exact (24+24 <= 53 bits), so the
+       double->float32 cast is the correctly rounded product.  For add the
+       intermediate can be inexact, so operands are drawn with aligned
+       exponents (sum fits 25 bits) to keep the reference exact. *)
+    let fa, fb =
+      if i land 1 = 0 then
+        ( Int32.float_of_bits (Int32.of_int (Random.State.full_int st 0x7F7F_FFFF)),
+          Int32.float_of_bits (Int32.of_int (Random.State.full_int st 0x7F7F_FFFF)) )
+      else
+        ( float_of_int (Random.State.int st 0x0100_0000 - 0x80_0000) /. 1024.0,
+          float_of_int (Random.State.int st 0x0100_0000 - 0x80_0000) /. 1024.0 )
+    in
+    if Float.is_finite fa && Float.is_finite fb then begin
+      let do_add = i land 1 = 1 in
+      let ba = bits_of_float32 fa and bb = bits_of_float32 fb in
+      let native op = Int32.bits_of_float (op fa fb) in
+      let check name soft nat =
+        if Float.is_finite (Int32.float_of_bits nat) then
+          Alcotest.(check int64)
+            (Printf.sprintf "%s %h %h" name fa fb)
+            (Int64.logand (Int64.of_int32 nat) 0xFFFFFFFFL)
+            soft
+      in
+      if do_add then
+        check "add" (Fparith.add f32 RNE ba bb)
+          (native (fun x y ->
+               Int32.float_of_bits (Int32.bits_of_float (x +. y))))
+      else
+        check "mul" (Fparith.mul f32 RNE ba bb)
+          (native (fun x y ->
+               Int32.float_of_bits (Int32.bits_of_float (x *. y))))
+    end
+  done
+
+let test_specials () =
+  let inf = inf_bits b16 ~neg:false and ninf = inf_bits b16 ~neg:true in
+  let nan = nan_bits b16 in
+  Alcotest.(check bool) "inf - inf = nan" true
+    (is_nan b16 (Fparith.add b16 RNE inf ninf));
+  Alcotest.(check bool) "0 * inf = nan" true
+    (is_nan b16 (Fparith.mul b16 RNE (zero_bits b16) inf));
+  Alcotest.(check bool) "0/0 = nan" true
+    (is_nan b16 (Fparith.div b16 RNE (zero_bits b16) (zero_bits b16)));
+  Alcotest.(check bool) "nan propagates" true
+    (is_nan b16 (Fparith.fma b16 RNE nan (enc 1.0) (enc 1.0)));
+  Alcotest.(check int64) "x/inf = 0" (zero_bits b16)
+    (Fparith.div b16 RNE (enc 3.0) inf);
+  Alcotest.(check int64) "-x/inf = -0" (neg_zero_bits b16)
+    (Fparith.div b16 RNE (enc (-3.0)) inf);
+  Alcotest.(check int64) "1/0 = inf" inf
+    (Fparith.div b16 RNE (enc 1.0) (zero_bits b16));
+  Alcotest.(check bool) "inf*inf + -inf = nan" true
+    (is_nan b16 (Fparith.fma b16 RNE inf inf ninf))
+
+let test_zero_signs () =
+  let p0 = zero_bits b16 and n0 = neg_zero_bits b16 in
+  Alcotest.(check int64) "3 + -3 = +0 (RNE)" p0
+    (Fparith.add b16 RNE (enc 3.0) (enc (-3.0)));
+  Alcotest.(check int64) "3 + -3 = -0 (RTD)" n0
+    (Fparith.add b16 RTD (enc 3.0) (enc (-3.0)));
+  Alcotest.(check int64) "-0 + -0 = -0" n0 (Fparith.add b16 RNE n0 n0);
+  Alcotest.(check int64) "+0 * -5 stays +(-0)" n0
+    (Fparith.mul b16 RTD p0 (enc (-5.0)));
+  Alcotest.(check int64) "-0 * -5 = +0 even under RTD" p0
+    (Fparith.mul b16 RTD n0 (enc (-5.0)))
+
+let test_fma_single_rounding () =
+  (* A classic double-rounding witness: with p = 11 bits (binary16), pick
+     a, b, c so that a*b has exactly one bit beyond the format and the
+     intermediate rounding of mul+add flips the final result. *)
+  let found = ref 0 and diff = ref 0 in
+  let st = Random.State.make [| 4242 |] in
+  for _ = 1 to 20_000 do
+    let r () = enc (float_of_int (1 + Random.State.int st 2000) /. 64.0) in
+    let a = r () and b = r () in
+    let c =
+      let v = r () in
+      if Random.State.bool st then of_rat b16 RNE (Rat.neg (to_rat b16 v)) else v
+    in
+    let fused = Fparith.fma b16 RNE a b c in
+    let unfused = Fparith.mul_add b16 RNE a b c in
+    if is_finite b16 fused && is_finite b16 unfused then begin
+      incr found;
+      if not (Int64.equal fused unfused) then begin
+        incr diff;
+        (* when they differ, fma must be the correctly rounded one *)
+        let exact =
+          Rat.add (Rat.mul (to_rat b16 a) (to_rat b16 b)) (to_rat b16 c)
+        in
+        Alcotest.(check int64) "fma is correctly rounded"
+          (of_rat b16 RNE exact) fused
+      end
+    end
+  done;
+  Alcotest.(check bool) "found cases" true (!found > 10_000);
+  (* double rounding must actually bite sometimes, else the test is vacuous *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fma differs from mul+add on %d cases" !diff)
+    true (!diff > 0)
+
+let prop_fma_correct =
+  let gen =
+    QCheck2.Gen.(
+      let* a = int_range (-4000) 4000 in
+      let* b = int_range (-4000) 4000 in
+      let* c = int_range (-4000) 4000 in
+      let* s = int_range (-6) 6 in
+      return
+        ( Rat.mul_pow2 (Rat.of_int a) s,
+          Rat.mul_pow2 (Rat.of_int b) (-3),
+          Rat.mul_pow2 (Rat.of_int c) (-2) ))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"fma = round(exact a*b+c), all modes"
+       gen
+       (fun (qa, qb, qc) ->
+         List.for_all
+           (fun mode ->
+             let a = of_rat b16 mode qa
+             and b = of_rat b16 mode qb
+             and c = of_rat b16 mode qc in
+             if is_finite b16 a && is_finite b16 b && is_finite b16 c then begin
+               let exact =
+                 Rat.add (Rat.mul (to_rat b16 a) (to_rat b16 b)) (to_rat b16 c)
+               in
+               let want = of_rat b16 mode exact in
+               let got = Fparith.fma b16 mode a b c in
+               (* zero results may differ in sign conventions; compare
+                  values *)
+               (Rat.is_zero exact && classify b16 got = Zero)
+               || Int64.equal want got
+             end
+             else true)
+           (RTO :: all_standard_modes)))
+
+let suite =
+  [
+    ("basic operations", `Quick, test_basic_ops);
+    ("binary32 vs hardware", `Quick, test_against_native_binary32);
+    ("IEEE specials", `Quick, test_specials);
+    ("zero signs", `Quick, test_zero_signs);
+    ("fma beats mul+add (double rounding)", `Quick, test_fma_single_rounding);
+    prop_fma_correct;
+  ]

@@ -1,0 +1,16 @@
+(* Test entry point: one alcotest section per library, substrates first. *)
+
+let () =
+  Alcotest.run "rlibm-fastpoly"
+    [
+      ("bigint", Test_bigint.suite);
+      ("rat", Test_rat.suite);
+      ("softfp", Test_softfp.suite);
+      ("fparith", Test_fparith.suite);
+      ("dyadic", Test_dyadic.suite);
+      ("oracle", Test_oracle.suite);
+      ("lp", Test_lp.suite);
+      ("polyeval", Test_polyeval.suite);
+      ("rlibm", Test_rlibm.suite);
+      ("genlibm", Test_genlibm.suite);
+    ]

@@ -1,0 +1,233 @@
+(* Tests for the evaluation schemes: bit-exact agreement between the fast
+   closures and the reference DAG semantics, Knuth adaptation identities,
+   operation counts from the paper, and the cubic solver. *)
+
+let powers n = Array.init n Fun.id
+
+let dense_exact coeffs x =
+  Lp.eval_poly ~powers:(powers (Array.length coeffs))
+    (Array.map Rat.of_float coeffs)
+    x
+
+(* ---------- cubic solver ---------- *)
+
+let test_cubic_known_roots () =
+  (* (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6 *)
+  let root = Cubic.real_root ~c3:1.0 ~c2:(-6.0) ~c1:11.0 ~c0:(-6.0) in
+  let p = Cubic.eval ~c3:1.0 ~c2:(-6.0) ~c1:11.0 ~c0:(-6.0) in
+  Alcotest.(check bool) "is a root" true (Float.abs (p root) < 1e-9);
+  (* single real root *)
+  let root = Cubic.real_root ~c3:1.0 ~c2:0.0 ~c1:0.0 ~c0:(-8.0) in
+  Alcotest.(check (float 1e-12)) "cbrt 8" 2.0 root;
+  (* negative leading coefficient *)
+  let root = Cubic.real_root ~c3:(-2.0) ~c2:0.0 ~c1:0.0 ~c0:16.0 in
+  Alcotest.(check (float 1e-12)) "neg leading" 2.0 root;
+  Alcotest.check_raises "degree < 3"
+    (Invalid_argument "Cubic.real_root: degree < 3") (fun () ->
+      ignore (Cubic.real_root ~c3:0.0 ~c2:1.0 ~c1:0.0 ~c0:0.0))
+
+let prop_cubic_random =
+  let gen =
+    QCheck2.Gen.(
+      let* c3 = float_range (-10.0) 10.0 in
+      let* c2 = float_range (-10.0) 10.0 in
+      let* c1 = float_range (-10.0) 10.0 in
+      let* c0 = float_range (-10.0) 10.0 in
+      return (c3, c2, c1, c0))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"cubic root residual is tiny" gen
+       (fun (c3, c2, c1, c0) ->
+         QCheck2.assume (Float.abs c3 > 0.01);
+         let x = Cubic.real_root ~c3 ~c2 ~c1 ~c0 in
+         let residual = Float.abs (Cubic.eval ~c3 ~c2 ~c1 ~c0 x) in
+         let scale =
+           1.0 +. Float.abs c0 +. Float.abs c1 +. Float.abs c2 +. Float.abs c3
+         in
+         residual /. scale < 1e-8))
+
+(* ---------- paper's running example ---------- *)
+
+let test_paper_example () =
+  (* u(x) = -6 + 6x + 42x^2 + 18x^3 + 2x^4, adapted:
+     y = (x+4)x - 1, u = ((y + x + 3)y - 1) * 2 *)
+  let u = [| -6.; 6.; 42.; 18.; 2. |] in
+  match Polyeval.adapt_knuth u with
+  | None -> Alcotest.fail "adaptation must exist"
+  | Some a ->
+      Alcotest.(check (array (float 0.0))) "alphas" [| 4.; -1.; 3.; -1.; 2. |] a;
+      (* evaluation matches the dense polynomial exactly here (the adapted
+         coefficients are small integers) *)
+      List.iter
+        (fun x ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "u(%g)" x)
+            (Rat.to_float (dense_exact u (Rat.of_float x)))
+            (Polyeval.eval_knuth ~degree:4 a x))
+        [ -2.0; -0.5; 0.0; 0.3; 1.0; 2.5 ]
+
+(* ---------- op counts from the paper ---------- *)
+
+let test_op_counts () =
+  let cost s d = Expr.cost (Polyeval.scheme_expr s ~degree:d) in
+  let check name c (m, a, f) =
+    Alcotest.(check (triple int int int))
+      name (m, a, f)
+      (c.Expr.mults, c.Expr.adds, c.Expr.fmas)
+  in
+  (* Horner: d mults + d adds *)
+  check "horner 4" (cost Polyeval.Horner 4) (4, 4, 0);
+  check "horner 6" (cost Polyeval.Horner 6) (6, 6, 0);
+  (* Knuth, from Section 3: deg 4 = 3 mul/5 add; deg 5 = 4 mul/5 add;
+     deg 6 = 4 mul/7 add *)
+  check "knuth 4" (cost Polyeval.Knuth 4) (3, 5, 0);
+  check "knuth 5" (cost Polyeval.Knuth 5) (4, 5, 0);
+  check "knuth 6" (cost Polyeval.Knuth 6) (4, 7, 0);
+  (* Horner-fma: d fmas *)
+  check "horner-fma 5" (cost Polyeval.HornerFma 5) (0, 0, 5);
+  (* Estrin+fma degree 5: x^2, y^2 mults + 5 fmas *)
+  check "estrin-fma 5" (cost Polyeval.EstrinFma 5) (2, 0, 5)
+
+let test_depth_ordering () =
+  (* The whole point of Estrin: dependence chains shrink. *)
+  List.iter
+    (fun d ->
+      let depth s = (Expr.cost (Polyeval.scheme_expr s ~degree:d)).Expr.depth in
+      Alcotest.(check bool)
+        (Printf.sprintf "estrin-fma < horner at degree %d" d)
+        true
+        (depth Polyeval.EstrinFma < depth Polyeval.Horner);
+      Alcotest.(check bool)
+        (Printf.sprintf "estrin < horner at degree %d" d)
+        true
+        (depth Polyeval.Estrin < depth Polyeval.Horner))
+    [ 4; 5; 6; 7; 8 ];
+  List.iter
+    (fun d ->
+      let depth s = (Expr.cost (Polyeval.scheme_expr s ~degree:d)).Expr.depth in
+      Alcotest.(check bool)
+        (Printf.sprintf "knuth <= horner at degree %d" d)
+        true
+        (depth Polyeval.Knuth <= depth Polyeval.Horner))
+    [ 4; 5; 6 ]
+
+(* ---------- bit-exact agreement: closures vs DAG ---------- *)
+
+let arb_coeffs_and_x =
+  QCheck2.Gen.(
+    let* d = int_range 0 8 in
+    let* coeffs = array_size (return (d + 1)) (float_range (-4.0) 4.0) in
+    let* x = float_range (-2.0) 2.0 in
+    return (coeffs, x))
+
+let prop_closure_matches_dag scheme =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:600
+       ~name:
+         (Printf.sprintf "%s closure = DAG semantics"
+            (Polyeval.scheme_name scheme))
+       arb_coeffs_and_x
+       (fun (coeffs, x) ->
+         match Polyeval.compile scheme coeffs with
+         | None ->
+             scheme = Polyeval.Knuth
+             && (Array.length coeffs - 1 < 4
+                || Array.length coeffs - 1 > 6
+                || coeffs.(Array.length coeffs - 1) = 0.0
+                || Polyeval.adapt_knuth coeffs = None)
+         | Some c ->
+             let fast = c.Polyeval.eval x in
+             let reference =
+               Expr.eval_float c.Polyeval.expr ~data:c.Polyeval.data x
+             in
+             Int64.equal (Int64.bits_of_float fast)
+               (Int64.bits_of_float reference)))
+
+(* ---------- algebraic identities ---------- *)
+
+let prop_exact_value_is_dense scheme =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300
+       ~name:
+         (Printf.sprintf "%s algebraic value = dense polynomial"
+            (Polyeval.scheme_name scheme))
+       arb_coeffs_and_x
+       (fun (coeffs, x) ->
+         match Polyeval.compile scheme coeffs with
+         | None -> true
+         | Some c ->
+             let xe = Rat.of_float x in
+             Rat.equal (Polyeval.eval_exact c xe) (dense_exact coeffs xe)))
+
+let prop_knuth_identity =
+  (* Adaptation computed in doubles: the adapted form expands to a
+     polynomial within solver/rounding tolerance of the original. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:400 ~name:"knuth adaptation is a near-identity"
+       QCheck2.Gen.(
+         let* d = int_range 4 6 in
+         let* coeffs = array_size (return (d + 1)) (float_range (-3.0) 3.0) in
+         let* x = float_range (-2.0) 2.0 in
+         return (coeffs, x))
+       (fun (coeffs, x) ->
+         let d = Array.length coeffs - 1 in
+         QCheck2.assume (Float.abs coeffs.(d) > 0.25);
+         match Polyeval.compile Polyeval.Knuth coeffs with
+         | None -> false
+         | Some c ->
+             let xe = Rat.of_float x in
+             let got = Rat.to_float (Polyeval.eval_exact c xe) in
+             let want = Rat.to_float (dense_exact coeffs xe) in
+             let scale =
+               Array.fold_left (fun acc v -> acc +. Float.abs v) 1.0 coeffs
+             in
+             (* cubic-root conditioning can cost many digits; a wrong
+                formula errs at O(1) relative, so 1e-4 still catches it
+                while tolerating ill-conditioned draws *)
+             let conditioning = 1.0 +. (scale /. Float.abs coeffs.(d)) in
+             Float.abs (got -. want) /. (scale *. conditioning ** 2.0) < 1e-4))
+
+let test_knuth_na_cases () =
+  Alcotest.(check bool) "degree 3" true (Polyeval.adapt_knuth [| 1.; 2.; 3.; 4. |] = None);
+  Alcotest.(check bool) "degree 7" true
+    (Polyeval.adapt_knuth (Array.make 8 1.0) = None);
+  Alcotest.(check bool) "zero leading" true
+    (Polyeval.adapt_knuth [| 1.; 2.; 3.; 4.; 0.0 |] = None);
+  Alcotest.(check bool) "compile falls back" true
+    (Polyeval.compile Polyeval.Knuth [| 1.; 2. |] = None)
+
+let test_scheme_names () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Polyeval.scheme_name s) true
+        (Polyeval.scheme_of_name (Polyeval.scheme_name s) = Some s))
+    Polyeval.all_schemes;
+  Alcotest.(check int) "paper schemes" 4 (List.length Polyeval.paper_schemes)
+
+let test_estrin_matches_algorithm1 () =
+  (* Degree 6, explicit trace of Algorithm 1 with fma. *)
+  let c = [| 1.; 2.; 3.; 4.; 5.; 6.; 7. |] in
+  let x = 0.37 in
+  let fma = Float.fma in
+  let v0 = fma c.(1) x c.(0) and v1 = fma c.(3) x c.(2) and v2 = fma c.(5) x c.(4) in
+  let v3 = c.(6) in
+  let y = x *. x in
+  let w0 = fma v1 y v0 and w1 = fma v3 y v2 in
+  let expect = fma w1 (y *. y) w0 in
+  Alcotest.(check (float 0.0)) "trace" expect (Polyeval.estrin_fma c x)
+
+let suite =
+  [
+    ("cubic known roots", `Quick, test_cubic_known_roots);
+    prop_cubic_random;
+    ("paper running example", `Quick, test_paper_example);
+    ("op counts (paper §3-4)", `Quick, test_op_counts);
+    ("depth ordering", `Quick, test_depth_ordering);
+    ("knuth N/A cases", `Quick, test_knuth_na_cases);
+    ("scheme names", `Quick, test_scheme_names);
+    ("estrin = Algorithm 1 trace", `Quick, test_estrin_matches_algorithm1);
+    prop_knuth_identity;
+  ]
+  @ List.map prop_closure_matches_dag Polyeval.all_schemes
+  @ List.map prop_exact_value_is_dense
+      [ Polyeval.Horner; Polyeval.HornerFma; Polyeval.Estrin; Polyeval.EstrinFma ]

@@ -1,0 +1,275 @@
+(* Tests for the pipeline building blocks: rounding intervals, range
+   reduction / output compensation, reduced-interval inference and
+   constraint merging. *)
+
+let mini = Rlibm.Config.default_mini
+let tout = Rlibm.Config.tout mini
+
+(* ---------- rounding intervals ---------- *)
+
+let test_interval_odd () =
+  (* Pick an odd-patterned value and check the open-interval property. *)
+  let y = Softfp.of_rat tout Softfp.RTO (Rat.of_ints 1 3) in
+  Alcotest.(check bool) "odd" true (Softfp.frac_odd tout y);
+  let iv = Rlibm.Intervals.of_round_to_odd tout y in
+  Alcotest.(check bool) "not degenerate" false (Rlibm.Intervals.is_degenerate iv);
+  (* every double in [lo,hi] rounds back to y under RTO *)
+  let check v =
+    Alcotest.(check int64)
+      (Printf.sprintf "%h rounds to y" v)
+      y
+      (Softfp.of_rat tout Softfp.RTO (Rat.of_float v))
+  in
+  check iv.Rlibm.Intervals.lo;
+  check iv.Rlibm.Intervals.hi;
+  check (0.5 *. (iv.Rlibm.Intervals.lo +. iv.Rlibm.Intervals.hi));
+  (* and the doubles just outside do not *)
+  Alcotest.(check bool) "below is different" false
+    (Int64.equal y
+       (Softfp.of_rat tout Softfp.RTO
+          (Rat.of_float (Float.pred iv.Rlibm.Intervals.lo))));
+  Alcotest.(check bool) "above is different" false
+    (Int64.equal y
+       (Softfp.of_rat tout Softfp.RTO
+          (Rat.of_float (Float.succ iv.Rlibm.Intervals.hi))))
+
+let test_interval_even_degenerate () =
+  (* 1.0 is exactly representable: its pattern is even and the interval is
+     the single point. *)
+  let y = Softfp.of_rat tout Softfp.RTO Rat.one in
+  Alcotest.(check bool) "even" false (Softfp.frac_odd tout y);
+  let iv = Rlibm.Intervals.of_round_to_odd tout y in
+  Alcotest.(check bool) "degenerate" true (Rlibm.Intervals.is_degenerate iv);
+  Alcotest.(check (float 0.0)) "at 1" 1.0 iv.Rlibm.Intervals.lo
+
+let test_interval_rejects_nonfinite () =
+  Alcotest.check_raises "inf"
+    (Invalid_argument "Intervals.of_round_to_odd: not finite") (fun () ->
+      ignore
+        (Rlibm.Intervals.of_round_to_odd tout (Softfp.inf_bits tout ~neg:false)))
+
+(* ---------- reductions ---------- *)
+
+let family f =
+  Rlibm.Reduction.make f ~out_fmt:tout ~pieces:2 ~table_bits:4
+
+let test_exp2_reduction_identity () =
+  let fam = family Oracle.Exp2 in
+  List.iter
+    (fun x ->
+      let red = fam.Rlibm.Reduction.reduce x in
+      (* reconstruct: oc(2^r) should equal 2^x up to double rounding *)
+      let v = red.Rlibm.Reduction.oc (Float.exp2 red.Rlibm.Reduction.r) in
+      Alcotest.(check bool)
+        (Printf.sprintf "2^%h" x)
+        true
+        (Float.abs (v -. Float.exp2 x) <= 1e-10 *. Float.exp2 x);
+      Alcotest.(check bool) "r in [0,1)" true
+        (red.Rlibm.Reduction.r >= 0.0 && red.Rlibm.Reduction.r < 1.0))
+    [ 0.0; 0.5; 3.25; -2.75; 7.9; -12.0625 ]
+
+let test_exp2_exact_fraction () =
+  let fam = family Oracle.Exp2 in
+  (* for exp2 the reduced input is exactly x - floor x *)
+  let red = fam.Rlibm.Reduction.reduce 3.625 in
+  Alcotest.(check (float 0.0)) "frac" 0.625 red.Rlibm.Reduction.r
+
+let test_exp_shortcuts () =
+  let fam = family Oracle.Exp in
+  Alcotest.(check bool) "overflow" true
+    (fam.Rlibm.Reduction.shortcut 1.0e6 <> None);
+  Alcotest.(check bool) "underflow" true
+    (fam.Rlibm.Reduction.shortcut (-1.0e6) <> None);
+  Alcotest.(check bool) "normal" true (fam.Rlibm.Reduction.shortcut 1.0 = None);
+  (* shortcut results round correctly in every mode *)
+  (match fam.Rlibm.Reduction.shortcut 1.0e6 with
+  | Some v ->
+      Alcotest.(check bool) "huge RNE=inf" true
+        (Softfp.classify tout (Softfp.of_rat tout Softfp.RNE (Rat.of_float v))
+        = Softfp.Inf);
+      Alcotest.(check int64) "huge RTO=maxfin"
+        (Softfp.max_finite_bits tout ~neg:false)
+        (Softfp.of_rat tout Softfp.RTO (Rat.of_float v))
+  | None -> Alcotest.fail "expected shortcut");
+  match fam.Rlibm.Reduction.shortcut (-1.0e6) with
+  | Some v ->
+      Alcotest.(check int64) "tiny RNE=0" (Softfp.zero_bits tout)
+        (Softfp.of_rat tout Softfp.RNE (Rat.of_float v));
+      Alcotest.(check int64) "tiny RTU=minsub"
+        (Softfp.min_subnormal_bits tout ~neg:false)
+        (Softfp.of_rat tout Softfp.RTU (Rat.of_float v))
+  | None -> Alcotest.fail "expected shortcut"
+
+let test_exp_near_one_shortcut () =
+  (* For tiny |x| the shortcut must return a double that rounds, in every
+     mode and width, exactly like the true result 2^x (which lies strictly
+     between 1 and its neighbour in the target). *)
+  let fam = family Oracle.Exp2 in
+  List.iter
+    (fun x ->
+      match fam.Rlibm.Reduction.shortcut x with
+      | None -> Alcotest.failf "expected near-one shortcut for %h" x
+      | Some v ->
+          let r = Oracle.make_rounder Oracle.Exp2 (Rat.of_float x) in
+          List.iter
+            (fun mode ->
+              List.iter
+                (fun prec ->
+                  let f = Softfp.make_fmt ~ebits:5 ~prec in
+                  Alcotest.(check int64)
+                    (Printf.sprintf "%h %s p%d" x (Softfp.mode_to_string mode)
+                       prec)
+                    (Oracle.round_with r ~fmt:f ~mode)
+                    (Softfp.of_rat f mode (Rat.of_float v)))
+                [ 2; 5; 8; 10 ])
+            (Softfp.RTO :: Softfp.all_standard_modes))
+    [ 1e-7; -1e-7; 4.2e-5; -3.3e-6; Float.ldexp 1.0 (-20) ];
+  (* x = 0 must NOT shortcut: the exact value 1 belongs to the polynomial
+     path's degenerate constraint *)
+  Alcotest.(check bool) "0 not shortcut" true
+    (fam.Rlibm.Reduction.shortcut 0.0 = None)
+
+let test_log_reduction_identity () =
+  List.iter
+    (fun (f, reference) ->
+      let fam = family f in
+      List.iter
+        (fun x ->
+          let red = fam.Rlibm.Reduction.reduce x in
+          let r = red.Rlibm.Reduction.r in
+          Alcotest.(check bool) "r in [0, 2^-J)" true (r >= 0.0 && r < 1.0 /. 16.0);
+          (* oc(log_b(1+r)) ~ log_b(x) *)
+          let v = red.Rlibm.Reduction.oc (reference (1.0 +. r)) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %h: %h vs %h" (Oracle.name f) x v (reference x))
+            true
+            (Float.abs (v -. reference x)
+            <= 1e-9 *. Float.max 1.0 (Float.abs (reference x))))
+        [ 1.0; 1.5; 2.0; 0.75; 1024.0; 3.1e-3; 7.25e5 ])
+    [
+      (Oracle.Log, log);
+      (Oracle.Log2, Float.log2);
+      (Oracle.Log10, log10);
+    ]
+
+let test_log_shortcuts () =
+  let fam = family Oracle.Log in
+  (match fam.Rlibm.Reduction.shortcut 0.0 with
+  | Some v -> Alcotest.(check (float 0.0)) "log 0" Float.neg_infinity v
+  | None -> Alcotest.fail "log 0 shortcut");
+  (match fam.Rlibm.Reduction.shortcut (-1.0) with
+  | Some v -> Alcotest.(check bool) "log neg" true (Float.is_nan v)
+  | None -> Alcotest.fail "log neg shortcut");
+  Alcotest.(check bool) "log pos" true (fam.Rlibm.Reduction.shortcut 2.0 = None)
+
+(* ---------- reduced intervals ---------- *)
+
+let test_reduced_interval_exponential () =
+  (* Exponential OC is exact scaling: the reduced interval must map back
+     exactly inside. *)
+  let fam = family Oracle.Exp2 in
+  let red = fam.Rlibm.Reduction.reduce 5.3 in
+  let y =
+    Oracle.correctly_round Oracle.Exp2 (Rat.of_float 5.3) ~fmt:tout
+      ~mode:Softfp.RTO
+  in
+  let iv = Rlibm.Intervals.of_round_to_odd tout y in
+  match Rlibm.Constraints.reduced_interval red iv with
+  | None -> Alcotest.fail "reduced interval must exist"
+  | Some (lo, hi) ->
+      Alcotest.(check bool) "nonempty" true (lo <= hi);
+      List.iter
+        (fun v ->
+          let out = red.Rlibm.Reduction.oc v in
+          Alcotest.(check bool)
+            (Printf.sprintf "oc %h inside" v)
+            true
+            (Rlibm.Intervals.contains iv out))
+        [ lo; hi; 0.5 *. (lo +. hi) ]
+
+let test_reduced_interval_log () =
+  (* Log OC rounds (an addition): the fix-up loop must still deliver
+     endpoints that map inside. *)
+  let fam = family Oracle.Log2 in
+  List.iter
+    (fun x ->
+      let red = fam.Rlibm.Reduction.reduce x in
+      let y =
+        Oracle.correctly_round Oracle.Log2 (Rat.of_float x) ~fmt:tout
+          ~mode:Softfp.RTO
+      in
+      let iv = Rlibm.Intervals.of_round_to_odd tout y in
+      match Rlibm.Constraints.reduced_interval red iv with
+      | None -> () (* possible for degenerate intervals; fine *)
+      | Some (lo, hi) ->
+          Alcotest.(check bool) "nonempty" true (lo <= hi);
+          List.iter
+            (fun v ->
+              Alcotest.(check bool)
+                (Printf.sprintf "log2 %h: oc %h inside" x v)
+                true
+                (Rlibm.Intervals.contains iv (red.Rlibm.Reduction.oc v)))
+            [ lo; hi ])
+    [ 1.17; 3.0; 9.5; 1000.0; 0.0625; 0.7 ]
+
+(* ---------- constraint building ---------- *)
+
+let test_build_merges_and_covers () =
+  let cfg = { mini with Rlibm.Config.pieces = 2 } in
+  let fam =
+    Rlibm.Reduction.make Oracle.Exp2 ~out_fmt:tout ~pieces:2
+      ~table_bits:cfg.Rlibm.Config.table_bits
+  in
+  let inputs = Array.init 64 (fun i -> Softfp.of_ordinal cfg.Rlibm.Config.tin (i + 400)) in
+  let built = Rlibm.Constraints.build ~cfg ~family:fam ~inputs in
+  Alcotest.(check int) "two piece buckets" 2 (Array.length built.Rlibm.Constraints.points);
+  let n_pts =
+    Array.fold_left (fun acc a -> acc + Array.length a) 0 built.Rlibm.Constraints.points
+  in
+  let n_specials = List.length built.Rlibm.Constraints.immediate_specials in
+  let n_xs =
+    Array.fold_left
+      (fun acc a ->
+        Array.fold_left
+          (fun acc p -> acc + List.length p.Rlibm.Constraints.xs)
+          acc a)
+      0 built.Rlibm.Constraints.points
+  in
+  Alcotest.(check bool) "every input accounted" true (n_xs + n_specials <= 64);
+  Alcotest.(check bool) "some constraints" true (n_pts > 0);
+  (* every constraint interval is nonempty and pieces are correct *)
+  Array.iteri
+    (fun pi pts ->
+      Array.iter
+        (fun p ->
+          Alcotest.(check bool) "nonempty" true
+            (p.Rlibm.Constraints.lo <= p.Rlibm.Constraints.hi);
+          Alcotest.(check int) "piece" pi p.Rlibm.Constraints.piece)
+        pts)
+    built.Rlibm.Constraints.points
+
+let test_mini_config_sanity () =
+  Alcotest.(check int) "tout width" 15 (Softfp.width tout);
+  Alcotest.(check int) "tout prec" 10 tout.Softfp.prec;
+  List.iter
+    (fun f ->
+      let cfg = Rlibm.Config.mini_for f in
+      Alcotest.(check bool) "pieces >= 1" true (cfg.Rlibm.Config.pieces >= 1))
+    Oracle.all
+
+let suite =
+  [
+    ("odd rounding interval", `Quick, test_interval_odd);
+    ("even degenerate interval", `Quick, test_interval_even_degenerate);
+    ("interval rejects non-finite", `Quick, test_interval_rejects_nonfinite);
+    ("exp2 reduction identity", `Quick, test_exp2_reduction_identity);
+    ("exp2 exact fraction", `Quick, test_exp2_exact_fraction);
+    ("exp shortcuts", `Quick, test_exp_shortcuts);
+    ("exp near-one shortcut", `Quick, test_exp_near_one_shortcut);
+    ("log reduction identity", `Quick, test_log_reduction_identity);
+    ("log shortcuts", `Quick, test_log_shortcuts);
+    ("reduced interval exponential", `Quick, test_reduced_interval_exponential);
+    ("reduced interval log (fixup)", `Quick, test_reduced_interval_log);
+    ("constraint building", `Quick, test_build_merges_and_covers);
+    ("mini config", `Quick, test_mini_config_sanity);
+  ]

@@ -1,0 +1,240 @@
+(* Tests for the parameterized software floating point formats, including
+   the round-to-odd mode and the double-rounding property that RLibm-All
+   relies on. *)
+
+open Softfp
+
+let b16 = binary16
+
+let test_format_parameters () =
+  Alcotest.(check int) "binary32 width" 32 (width binary32);
+  Alcotest.(check int) "fp34 width" 34 (width fp34);
+  Alcotest.(check int) "fp34 prec" 26 fp34.prec;
+  Alcotest.(check int) "binary32 emax" 127 (emax binary32);
+  Alcotest.(check int) "binary32 emin" (-126) (emin binary32);
+  Alcotest.(check int) "b16 emax" 15 (emax b16);
+  Alcotest.(check int) "bfloat16 width" 16 (width bfloat16);
+  Alcotest.(check int) "widen" 26 (with_extra_prec binary32 2).prec;
+  Alcotest.check_raises "width > 63"
+    (Invalid_argument "Softfp.make_fmt: width > 63") (fun () ->
+      ignore (make_fmt ~ebits:11 ~prec:53))
+
+let test_classify () =
+  Alcotest.(check bool) "zero" true (classify b16 (zero_bits b16) = Zero);
+  Alcotest.(check bool) "neg zero" true
+    (classify b16 (neg_zero_bits b16) = Zero);
+  Alcotest.(check bool) "inf" true (classify b16 (inf_bits b16 ~neg:false) = Inf);
+  Alcotest.(check bool) "nan" true (classify b16 (nan_bits b16) = NaN);
+  Alcotest.(check bool) "min sub" true
+    (classify b16 (min_subnormal_bits b16 ~neg:false) = Subnormal);
+  Alcotest.(check bool) "max finite" true
+    (classify b16 (max_finite_bits b16 ~neg:false) = Normal)
+
+let test_decode_known_binary16 () =
+  (* Known binary16 patterns. *)
+  let check name bits expect =
+    Alcotest.(check (float 0.0)) name expect (to_float b16 (Int64.of_int bits))
+  in
+  check "one" 0x3C00 1.0;
+  check "two" 0x4000 2.0;
+  check "neg one" 0xBC00 (-1.0);
+  check "1.5" 0x3E00 1.5;
+  check "max" 0x7BFF 65504.0;
+  check "min sub" 0x0001 (Float.ldexp 1.0 (-24));
+  check "min normal" 0x0400 (Float.ldexp 1.0 (-14))
+
+let test_encode_matches_native_binary32 () =
+  (* The binary32 encoder must agree with the hardware float cast (RNE). *)
+  let cases =
+    [ 0.1; 1.0; -1.0; 3.14159; 1.0e38; -1.0e38; 1.0e-38; 1.0e-45;
+      65504.1; Float.ldexp 1.0 (-126); Float.ldexp 1.0 (-149) ]
+  in
+  List.iter
+    (fun x ->
+      let native =
+        Int64.logand (Int64.of_int32 (Int32.bits_of_float x)) 0xFFFFFFFFL
+      in
+      let soft = of_rat binary32 RNE (Rat.of_float x) in
+      Alcotest.(check int64) (Printf.sprintf "%h" x) native soft)
+    cases
+
+let test_round_to_odd_semantics () =
+  (* Exactly representable values stay put (even or odd pattern). *)
+  let one = of_rat b16 RTO Rat.one in
+  Alcotest.(check (float 0.0)) "exact 1" 1.0 (to_float b16 one);
+  (* An inexact value must round to an adjacent value with odd pattern. *)
+  let q = Rat.of_ints 1 3 in
+  let b = of_rat b16 RTO q in
+  Alcotest.(check bool) "odd pattern" true (frac_odd b16 b);
+  let v = to_rat b16 b in
+  let dist = Rat.abs (Rat.sub v q) in
+  (* within one ulp of 1/3 (~2^-12 at this scale) *)
+  Alcotest.(check bool) "adjacent" true
+    (Rat.compare dist (Rat.mul_pow2 Rat.one (-11)) < 0)
+
+let test_rounding_modes_quarter () =
+  (* 1 + 1/4 ulp in binary16: prec 11, ulp of 1.0 is 2^-10. *)
+  let x = Rat.add Rat.one (Rat.mul_pow2 Rat.one (-12)) in
+  let as_f m = to_float b16 (of_rat b16 m x) in
+  Alcotest.(check (float 0.0)) "RNE down" 1.0 (as_f RNE);
+  Alcotest.(check (float 0.0)) "RNA down" 1.0 (as_f RNA);
+  Alcotest.(check (float 0.0)) "RTZ down" 1.0 (as_f RTZ);
+  Alcotest.(check (float 0.0)) "RTD down" 1.0 (as_f RTD);
+  let up = 1.0 +. Float.ldexp 1.0 (-10) in
+  Alcotest.(check (float 0.0)) "RTU up" up (as_f RTU);
+  Alcotest.(check (float 0.0)) "RTO odd" up (as_f RTO);
+  (* negative mirror *)
+  let nx = Rat.neg x in
+  let as_f m = to_float b16 (of_rat b16 m nx) in
+  Alcotest.(check (float 0.0)) "neg RTU" (-1.0) (as_f RTU);
+  Alcotest.(check (float 0.0)) "neg RTD" (-.up) (as_f RTD);
+  Alcotest.(check (float 0.0)) "neg RTZ" (-1.0) (as_f RTZ)
+
+let test_ties () =
+  (* exactly halfway between 1 and 1 + ulp: 1 + 2^-11 *)
+  let x = Rat.add Rat.one (Rat.mul_pow2 Rat.one (-11)) in
+  let up = 1.0 +. Float.ldexp 1.0 (-10) in
+  Alcotest.(check (float 0.0)) "RNE tie -> even" 1.0
+    (to_float b16 (of_rat b16 RNE x));
+  Alcotest.(check (float 0.0)) "RNA tie -> away" up
+    (to_float b16 (of_rat b16 RNA x));
+  (* halfway between 1 + ulp and 1 + 2ulp: rounds up to even under RNE *)
+  let x2 = Rat.add Rat.one (Rat.mul_pow2 (Rat.of_int 3) (-11)) in
+  Alcotest.(check (float 0.0)) "RNE tie -> even (up)" (1.0 +. Float.ldexp 1.0 (-9))
+    (to_float b16 (of_rat b16 RNE x2))
+
+let test_overflow_modes () =
+  let huge = Rat.mul_pow2 Rat.one 100 in
+  let check name mode expect_cls neg =
+    let b = of_rat b16 mode (if neg then Rat.neg huge else huge) in
+    Alcotest.(check bool) name true (classify b16 b = expect_cls)
+  in
+  check "RNE -> inf" RNE Inf false;
+  check "RNA -> inf" RNA Inf false;
+  check "RTZ -> max" RTZ Normal false;
+  check "RTO -> max (odd)" RTO Normal false;
+  check "RTU pos -> inf" RTU Inf false;
+  check "RTU neg -> -max" RTU Normal true;
+  check "RTD neg -> -inf" RTD Inf true;
+  check "RTD pos -> max" RTD Normal false;
+  (* RTO overflow result must be the odd-patterned max finite *)
+  let b = of_rat b16 RTO huge in
+  Alcotest.(check int64) "RTO max finite" (max_finite_bits b16 ~neg:false) b;
+  Alcotest.(check bool) "max finite pattern odd" true (frac_odd b16 b)
+
+let test_underflow_modes () =
+  let tiny = Rat.mul_pow2 Rat.one (-80) in
+  let ms = min_subnormal_bits b16 ~neg:false in
+  Alcotest.(check int64) "RNE -> 0" (zero_bits b16) (of_rat b16 RNE tiny);
+  Alcotest.(check int64) "RTZ -> 0" (zero_bits b16) (of_rat b16 RTZ tiny);
+  Alcotest.(check int64) "RTU -> minsub" ms (of_rat b16 RTU tiny);
+  Alcotest.(check int64) "RTO -> minsub (odd)" ms (of_rat b16 RTO tiny);
+  Alcotest.(check int64) "neg RTD -> -minsub"
+    (min_subnormal_bits b16 ~neg:true)
+    (of_rat b16 RTD (Rat.neg tiny));
+  Alcotest.(check int64) "neg RTU -> -0" (neg_zero_bits b16)
+    (of_rat b16 RTU (Rat.neg tiny))
+
+let test_succ_pred () =
+  let one = of_rat b16 RNE Rat.one in
+  let s = succ b16 one in
+  Alcotest.(check (float 0.0)) "succ 1" (1.0 +. Float.ldexp 1.0 (-10))
+    (to_float b16 s);
+  Alcotest.(check int64) "pred succ = id" one (pred b16 s);
+  (* crossing zero *)
+  let pz = zero_bits b16 and nz = neg_zero_bits b16 in
+  Alcotest.(check int64) "succ +0 = minsub" (min_subnormal_bits b16 ~neg:false)
+    (succ b16 pz);
+  Alcotest.(check int64) "succ -0 = +0" pz (succ b16 nz);
+  Alcotest.(check int64) "pred +0 = -0" nz (pred b16 pz);
+  Alcotest.(check int64) "pred -0 = -minsub" (min_subnormal_bits b16 ~neg:true)
+    (pred b16 nz);
+  (* into infinity *)
+  Alcotest.(check bool) "succ max = inf" true
+    (classify b16 (succ b16 (max_finite_bits b16 ~neg:false)) = Inf)
+
+let test_iter_finite_count () =
+  let small = make_fmt ~ebits:3 ~prec:3 in
+  let n = ref 0 in
+  iter_finite small (fun _ -> incr n);
+  Alcotest.(check int) "count matches" (count_finite small) !n;
+  Alcotest.(check int) "count formula" (2 * 7 * 4) !n
+
+(* ---------- property tests ---------- *)
+
+let arb_rat_small =
+  QCheck2.Gen.(
+    let* n = int_range (-2_000_000) 2_000_000 in
+    let* d = int_range 1 2_000_000 in
+    let* s = int_range (-20) 20 in
+    return (Rat.mul_pow2 (Rat.of_ints n d) s))
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:400 ~name gen f)
+
+let decode_ok fmt bits = is_finite fmt bits
+
+let props =
+  [
+    prop "rounding is monotone (RNE, b16)"
+      (QCheck2.Gen.pair arb_rat_small arb_rat_small) (fun (a, b) ->
+        let a, b = if Rat.compare a b <= 0 then (a, b) else (b, a) in
+        let fa = of_rat b16 RNE a and fb = of_rat b16 RNE b in
+        (not (decode_ok b16 fa && decode_ok b16 fb))
+        || ordinal b16 fa <= ordinal b16 fb);
+    prop "RTD <= RNE <= RTU (b16)" arb_rat_small (fun a ->
+        let d = of_rat b16 RTD a and n = of_rat b16 RNE a and u = of_rat b16 RTU a in
+        (not (decode_ok b16 d && decode_ok b16 n && decode_ok b16 u))
+        || (ordinal b16 d <= ordinal b16 n && ordinal b16 n <= ordinal b16 u));
+    prop "idempotent re-rounding (all modes)" arb_rat_small (fun a ->
+        List.for_all
+          (fun m ->
+            let b = of_rat b16 m a in
+            (* zero results are excluded: Rat cannot carry the sign of
+               zero, so -0 legitimately re-rounds to +0 *)
+            (not (decode_ok b16 b))
+            || classify b16 b = Zero
+            || Int64.equal b (of_rat b16 m (to_rat b16 b)))
+          (RTO :: all_standard_modes));
+    prop "RTO inexact results are odd" arb_rat_small (fun a ->
+        let b = of_rat b16 RTO a in
+        (not (decode_ok b16 b))
+        || Rat.equal (to_rat b16 b) a
+        || frac_odd b16 b);
+    prop "round-to-odd double rounding = direct rounding"
+      (QCheck2.Gen.pair arb_rat_small (QCheck2.Gen.int_range 7 11))
+      (fun (a, k) ->
+        (* wide = (11+2)-sig-bit format, narrow = k bits total with 5 ebits *)
+        let wide = make_fmt ~ebits:5 ~prec:13 in
+        let narrow_fmt = make_fmt ~ebits:5 ~prec:(k - 5) in
+        let wide_ro = of_rat wide RTO a in
+        List.for_all
+          (fun m ->
+            Int64.equal
+              (of_rat narrow_fmt m a)
+              (narrow ~src:wide ~dst:narrow_fmt m wide_ro))
+          all_standard_modes);
+    prop "ordinal respects value order" (QCheck2.Gen.pair arb_rat_small arb_rat_small)
+      (fun (a, b) ->
+        let fa = of_rat b16 RNE a and fb = of_rat b16 RNE b in
+        (not (decode_ok b16 fa && decode_ok b16 fb))
+        || (Rat.compare (to_rat b16 fa) (to_rat b16 fb) < 0)
+           = (ordinal b16 fa < ordinal b16 fb
+             && not (Rat.equal (to_rat b16 fa) (to_rat b16 fb))));
+  ]
+
+let suite =
+  [
+    ("format parameters", `Quick, test_format_parameters);
+    ("classification", `Quick, test_classify);
+    ("binary16 decode known", `Quick, test_decode_known_binary16);
+    ("binary32 encode = native cast", `Quick, test_encode_matches_native_binary32);
+    ("round-to-odd semantics", `Quick, test_round_to_odd_semantics);
+    ("directed modes", `Quick, test_rounding_modes_quarter);
+    ("nearest ties", `Quick, test_ties);
+    ("overflow per mode", `Quick, test_overflow_modes);
+    ("underflow per mode", `Quick, test_underflow_modes);
+    ("succ/pred navigation", `Quick, test_succ_pred);
+    ("finite enumeration", `Quick, test_iter_finite_count);
+  ]
+  @ props
