@@ -15,6 +15,14 @@
      dune exec bench/main.exe -- --correctness     (just E4)
      dune exec bench/main.exe -- --cost            (static cost model)
      dune exec bench/main.exe -- --quick           (2 functions only)
+     dune exec bench/main.exe -- -j N              (N-way generation/verify
+                                                    fan-out; default: all
+                                                    cores; -j 1 = the exact
+                                                    sequential path)
+     dune exec bench/main.exe -- --json PATH       (also write the E2
+                                                    timings as JSON for
+                                                    perf trajectory
+                                                    tracking)
 
    The first run computes the oracle tables and caches them in
    ./.oracle-cache; subsequent runs are much faster. *)
@@ -121,31 +129,40 @@ let run_bechamel tests =
   in
   Analyze.all ols Instance.monotonic_clock raw
 
-let print_table2 grid =
-  print_endline
-    "== E2: Table 2 / Figure 6 — speedup over RLibm (Horner baseline) ==";
+(* One timing measurement: median-estimate ns per call for a (func,
+   scheme) cell, from Bechamel's OLS fit over the sweep. *)
+type timing = { t_func : Oracle.func; t_scheme : Polyeval.scheme; t_ns : float }
+
+let measure_grid grid =
   let tests = bench_tests grid in
   let results = run_bechamel tests in
-  (* ns per sweep for each (func, scheme). *)
-  let time_of func scheme =
-    let name =
-      Printf.sprintf "polyeval %s/%s" (Oracle.name func)
-        (Polyeval.scheme_name scheme)
-    in
-    match Hashtbl.find_opt results name with
-    | Some ols -> (
-        match Analyze.OLS.estimates ols with
-        | Some (t :: _) -> Some t
-        | _ -> None)
-    | None -> None
-  in
+  List.filter_map
+    (fun ((func, scheme, sweep), _) ->
+      let name =
+        Printf.sprintf "polyeval %s/%s" (Oracle.name func)
+          (Polyeval.scheme_name scheme)
+      in
+      match Hashtbl.find_opt results name with
+      | Some ols -> (
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) ->
+              Some { t_func = func; t_scheme = scheme; t_ns = t /. float_of_int sweep }
+          | _ -> None)
+      | None -> None)
+    tests
+
+let time_of timings func scheme =
+  List.find_map
+    (fun t -> if t.t_func = func && t.t_scheme = scheme then Some t.t_ns else None)
+    timings
+
+let speedup_pct th t = 100.0 *. ((th /. t) -. 1.0)
+
+let print_table2 timings =
+  print_endline
+    "== E2: Table 2 / Figure 6 — speedup over RLibm (Horner baseline) ==";
   let funcs =
-    List.sort_uniq compare (List.map (fun ((f, _, _), _) -> f) tests)
-  in
-  let sweep_size func =
-    match List.find_opt (fun ((f, s, _), _) -> f = func && s = Polyeval.Horner) tests with
-    | Some ((_, _, n), _) -> n
-    | None -> 1
+    List.sort_uniq compare (List.map (fun t -> t.t_func) timings)
   in
   let fast_schemes = [ Polyeval.Knuth; Polyeval.Estrin; Polyeval.EstrinFma ] in
   Printf.printf "%-8s %10s | %9s %9s %9s   (speedup vs horner)\n" "f"
@@ -153,17 +170,16 @@ let print_table2 grid =
   let sums = Hashtbl.create 4 in
   List.iter
     (fun func ->
-      match time_of func Polyeval.Horner with
+      match time_of timings func Polyeval.Horner with
       | None -> ()
       | Some th ->
-          Printf.printf "%-8s %10.2f |" (Oracle.name func)
-            (th /. float_of_int (sweep_size func));
+          Printf.printf "%-8s %10.2f |" (Oracle.name func) th;
           List.iter
             (fun scheme ->
-              match time_of func scheme with
+              match time_of timings func scheme with
               | None -> Printf.printf "%9s" "n/a"
               | Some t ->
-                  let speedup = 100.0 *. ((th /. t) -. 1.0) in
+                  let speedup = speedup_pct th t in
                   let s, n =
                     Option.value ~default:(0.0, 0) (Hashtbl.find_opt sums scheme)
                   in
@@ -190,15 +206,46 @@ let print_table2 grid =
       Printf.printf "%-11s" (Polyeval.scheme_name scheme);
       List.iter
         (fun func ->
-          match (time_of func Polyeval.Horner, time_of func scheme) with
+          match (time_of timings func Polyeval.Horner, time_of timings func scheme) with
           | Some th, Some t ->
-              Printf.printf " %s=%.1f" (Oracle.name func)
-                (100.0 *. ((th /. t) -. 1.0))
+              Printf.printf " %s=%.1f" (Oracle.name func) (speedup_pct th t)
           | _ -> Printf.printf " %s=n/a" (Oracle.name func))
         funcs;
       print_newline ())
     fast_schemes;
   print_newline ()
+
+(* Machine-readable E2 results, for BENCH_*.json perf trajectory
+   tracking across PRs. *)
+let write_json path ~jobs timings =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"timestamp\": %.0f,\n\
+    \  \"jobs\": %d,\n\
+    \  \"input_bits\": %d,\n\
+    \  \"results\": [\n"
+    (Unix.time ()) jobs
+    (Softfp.width Rlibm.Config.mini_tin);
+  let n = List.length timings in
+  List.iteri
+    (fun i t ->
+      let speedup =
+        match time_of timings t.t_func Polyeval.Horner with
+        | Some th when t.t_ns > 0.0 -> speedup_pct th t.t_ns
+        | _ -> 0.0
+      in
+      Printf.fprintf oc
+        "    {\"func\": %S, \"scheme\": %S, \"median_ns\": %.4f, \
+         \"speedup_vs_horner_pct\": %.2f}%s\n"
+        (Oracle.name t.t_func)
+        (Polyeval.scheme_name t.t_scheme)
+        t.t_ns speedup
+        (if i = n - 1 then "" else ","))
+    timings;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d timing rows)\n%!" path n
 
 (* ---------- static cost model (the mechanism behind Figure 6) ---------- *)
 
@@ -326,6 +373,24 @@ let print_correctness grid =
 let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
+  (* Value of "--opt V" (or "-o V"); None when absent. *)
+  let rec opt_value names = function
+    | [] | [ _ ] -> None
+    | a :: v :: rest ->
+        if List.mem a names then Some v else opt_value names (v :: rest)
+  in
+  let jobs =
+    match opt_value [ "-j"; "--jobs" ] args with
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 -> j
+        | _ ->
+            Printf.eprintf "bad -j value %S\n" v;
+            exit 2)
+    | None -> Parallel.default_jobs ()
+  in
+  Parallel.set_jobs jobs;
+  let json_path = opt_value [ "--json" ] args in
   let quick = has "--quick" in
   let funcs = if quick then [ Oracle.Exp2; Oracle.Log2 ] else Oracle.all in
   let all =
@@ -335,17 +400,23 @@ let () =
   in
   Printf.printf
     "rlibm-fastpoly benchmark harness (%d functions x %d schemes, %d-bit \
-     inputs)\n\n%!"
+     inputs, -j %d)\n\n%!"
     (List.length funcs)
     (List.length Polyeval.paper_schemes)
-    (Softfp.width Rlibm.Config.mini_tin);
+    (Softfp.width Rlibm.Config.mini_tin)
+    jobs;
   if all || has "--cost" then print_cost_model ();
+  let need_timings = all || has "--table2" || json_path <> None in
   let need_grid =
-    all || has "--table1" || has "--table2" || has "--post-process"
+    need_timings || has "--table1" || has "--post-process"
     || has "--correctness"
   in
   let grid = if need_grid then generate_grid funcs else [] in
   if all || has "--table1" then print_table1 grid;
-  if all || has "--table2" then print_table2 grid;
+  let timings = if need_timings then measure_grid grid else [] in
+  if all || has "--table2" then print_table2 timings;
+  (match json_path with
+  | Some path -> write_json path ~jobs timings
+  | None -> ());
   if all || has "--post-process" then print_post_process grid;
   if all || has "--correctness" then print_correctness grid

@@ -26,10 +26,24 @@ let scheme_arg =
   let print fmt s = Format.pp_print_string fmt (Polyeval.scheme_name s) in
   Arg.conv (parse, print)
 
+let jobs_arg =
+  let doc =
+    "Fan the oracle construction, generation loop and verification out \
+     over $(docv) domains (deterministic: the output is bit-identical for \
+     every value).  Defaults to the machine's core count; 1 takes the \
+     exact sequential code path."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let set_jobs jobs =
+  Parallel.set_jobs
+    (match jobs with Some j -> j | None -> Parallel.default_jobs ())
+
 (* ---------- generate ---------- *)
 
 let generate_cmd =
-  let run func scheme ebits prec pieces table_bits verify verbose =
+  let run func scheme ebits prec pieces table_bits verify verbose jobs =
+    set_jobs jobs;
     let tin = Softfp.make_fmt ~ebits ~prec in
     let cfg =
       {
@@ -86,7 +100,7 @@ let generate_cmd =
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log the generation loop.") in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a correctly rounded elementary function")
-    Term.(const run $ func $ scheme $ ebits $ prec $ pieces $ table_bits $ verify $ verbose)
+    Term.(const run $ func $ scheme $ ebits $ prec $ pieces $ table_bits $ verify $ verbose $ jobs_arg)
 
 (* ---------- oracle ---------- *)
 

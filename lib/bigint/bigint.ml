@@ -158,6 +158,37 @@ let mag_mul_small a m =
     r
   end
 
+(* Multiply magnitude by an arbitrary positive native int: decompose the
+   scalar into base-2^30 limbs (at most three on 64-bit) and run one
+   multiply-accumulate pass per scalar limb.  Accumulator bound:
+   r_slot + a_i*m + carry < 2^30 + 2^60 + 2^31 fits a native int. *)
+let mag_mul_int a n =
+  if n < base then mag_mul_small a n
+  else begin
+    let la = Array.length a in
+    let n0 = n land limb_mask in
+    let n1 = (n lsr limb_bits) land limb_mask in
+    let n2 = n lsr (2 * limb_bits) in
+    let ln = if n2 <> 0 then 3 else 2 in
+    let r = Array.make (la + ln) 0 in
+    let pass k m =
+      if m <> 0 then begin
+        let carry = ref 0 in
+        for i = 0 to la - 1 do
+          let t = r.(i + k) + (a.(i) * m) + !carry in
+          r.(i + k) <- t land limb_mask;
+          carry := t lsr limb_bits
+        done;
+        (* Top slot of this pass is still untouched by later passes. *)
+        r.(la + k) <- !carry
+      end
+    in
+    pass 0 n0;
+    pass 1 n1;
+    if ln = 3 then pass 2 n2;
+    r
+  end
+
 (* Divide magnitude by a small positive int (< base); returns quotient
    magnitude and the integer remainder. *)
 let mag_divmod_small a m =
@@ -377,13 +408,13 @@ let mul a b =
   else make (a.sign * b.sign) (mag_mul a.mag b.mag)
 
 let mul_int a n =
-  if n > -base && n < base then begin
-    if n = 0 || a.sign = 0 then zero
-    else
-      let s = if n < 0 then -a.sign else a.sign in
-      make s (mag_mul_small a.mag (Stdlib.abs n))
-  end
-  else mul a (of_int n)
+  if n = 0 || a.sign = 0 then zero
+  else if n = Stdlib.min_int then
+    (* The one value whose magnitude [abs] cannot represent. *)
+    mul a (of_int n)
+  else
+    let s = if n < 0 then -a.sign else a.sign in
+    make s (mag_mul_int a.mag (Stdlib.abs n))
 
 let divmod a b =
   if b.sign = 0 then raise Division_by_zero

@@ -6,9 +6,19 @@ type t = Rlibm.Generate.generated
 (* ---------- input sets ---------- *)
 
 let inputs_exhaustive fmt =
-  let acc = ref [] in
-  Softfp.iter_finite fmt (fun b -> acc := b :: !acc);
-  Array.of_list !acc
+  (* Fill a preallocated array (no intermediate list).  Slots are written
+     back-to-front so the array keeps the order the list-based version
+     produced (iteration order reversed) — generation artifacts such as
+     the CalculatePhi merge depend on input order, so it is part of the
+     observable output. *)
+  let n = Softfp.count_finite fmt in
+  let a = Array.make n 0L in
+  let i = ref (n - 1) in
+  Softfp.iter_finite fmt (fun b ->
+      a.(!i) <- b;
+      decr i);
+  assert (!i = -1);
+  a
 
 (* Stratified samples for wide formats (binary32): every exponent value
    contributes, plus dense coverage near 0, 1 and the extremes. *)
@@ -101,6 +111,24 @@ let pp_verify_report fmt (r : verify_report) =
     "%d inputs: %d checked, %d wrong round-to-odd, %d/%d wrong narrowed"
     r.total r.checked r.wrong34 r.wrong_narrow r.narrow_checks
 
+(* Per-input verdict computed by the parallel sweep of [verify]. *)
+type verdict = {
+  v_checked : bool;
+  v_wrong34 : bool;
+  v_narrow_checks : int;
+  v_wrong_narrow : int;
+  v_memo : int64 option;  (* fresh oracle result to install on the driver *)
+}
+
+let v_skip =
+  {
+    v_checked = false;
+    v_wrong34 = false;
+    v_narrow_checks = 0;
+    v_wrong_narrow = 0;
+    v_memo = None;
+  }
+
 (* [verify g ~inputs] checks, for every finite input:
 
    1. the double produced by the implementation rounds (round-to-odd, into
@@ -108,7 +136,13 @@ let pp_verify_report fmt (r : verify_report) =
    2. rounding the implementation's double *directly* into every supported
       representation (E+2 .. n total bits) under every standard rounding
       mode agrees with double-rounding the oracle result — i.e. the
-      RLibm-All guarantee holds for the generated function. *)
+      RLibm-All guarantee holds for the generated function.
+
+   The per-input checks fan out across the domain pool: [g.specials] and
+   [g.oracle] are only read inside the sweep (fresh oracle results are
+   returned in the verdicts and memoized on the driver afterwards, in
+   input order), and the report is a sum of per-input counts, so the
+   verdict is identical for every job count. *)
 let verify ?(narrow = true) (g : t) ~(inputs : int64 array) =
   let tin = g.cfg.tin in
   let tout = Rlibm.Config.tout g.cfg in
@@ -118,56 +152,80 @@ let verify ?(narrow = true) (g : t) ~(inputs : int64 array) =
       (fun i ->
         Softfp.make_fmt ~ebits:tin.Softfp.ebits ~prec:(2 + i))
   in
-  let total = ref 0 and checked = ref 0 in
-  let wrong34 = ref 0 and wrong_narrow = ref 0 and narrow_checks = ref 0 in
-  Array.iter
-    (fun x ->
-      incr total;
-      if Softfp.is_finite tin x then begin
-        incr checked;
-        let v = eval_bits g x in
-        let xq = Softfp.to_rat tin x in
-        if not (Oracle.domain_ok g.family.func xq) then begin
-          (* Logarithm of zero / a negative number: the expected results
-             are -inf and NaN respectively, in every representation. *)
-          let expect_nan = Rat.sign xq < 0 in
-          let ok =
-            if expect_nan then Float.is_nan v else v = Float.neg_infinity
-          in
-          if not ok then incr wrong34
-        end
+  let verdicts =
+    Parallel.map_array
+      (fun x ->
+        if not (Softfp.is_finite tin x) then v_skip
         else begin
-        let y_true =
-          match Hashtbl.find_opt g.oracle x with
-          | Some y -> y
-          | None ->
-              (* Shortcut-path inputs: the oracle's own range shortcut makes
-                 this cheap. *)
-              let y =
-                Oracle.correctly_round g.family.func
-                  (Softfp.to_rat tin x) ~fmt:tout ~mode:Softfp.RTO
-              in
-              Hashtbl.replace g.oracle x y;
-              y
-        in
-        let y_impl = round_result tout Softfp.RTO v in
-        if not (Int64.equal y_impl y_true) then incr wrong34
-        else if narrow then
-          List.iter
-            (fun f ->
-              List.iter
-                (fun mode ->
-                  incr narrow_checks;
-                  let direct = round_result f mode v in
-                  let doubled = Softfp.narrow ~src:tout ~dst:f mode y_true in
-                  if not (Int64.equal direct doubled) then incr wrong_narrow)
-                Softfp.all_standard_modes)
-            narrow_fmts
-        end
-      end)
+          let v = eval_bits g x in
+          let xq = Softfp.to_rat tin x in
+          if not (Oracle.domain_ok g.family.func xq) then begin
+            (* Logarithm of zero / a negative number: the expected results
+               are -inf and NaN respectively, in every representation. *)
+            let expect_nan = Rat.sign xq < 0 in
+            let ok =
+              if expect_nan then Float.is_nan v else v = Float.neg_infinity
+            in
+            { v_skip with v_checked = true; v_wrong34 = not ok }
+          end
+          else begin
+            let y_true, memo =
+              match Hashtbl.find_opt g.oracle x with
+              | Some y -> (y, None)
+              | None ->
+                  (* Shortcut-path inputs: the oracle's own range shortcut
+                     makes this cheap. *)
+                  let y =
+                    Oracle.correctly_round g.family.func xq ~fmt:tout
+                      ~mode:Softfp.RTO
+                  in
+                  (y, Some y)
+            in
+            let y_impl = round_result tout Softfp.RTO v in
+            if not (Int64.equal y_impl y_true) then
+              { v_skip with v_checked = true; v_wrong34 = true; v_memo = memo }
+            else begin
+              let nc = ref 0 and wn = ref 0 in
+              if narrow then
+                List.iter
+                  (fun f ->
+                    List.iter
+                      (fun mode ->
+                        incr nc;
+                        let direct = round_result f mode v in
+                        let doubled =
+                          Softfp.narrow ~src:tout ~dst:f mode y_true
+                        in
+                        if not (Int64.equal direct doubled) then incr wn)
+                      Softfp.all_standard_modes)
+                  narrow_fmts;
+              {
+                v_checked = true;
+                v_wrong34 = false;
+                v_narrow_checks = !nc;
+                v_wrong_narrow = !wn;
+                v_memo = memo;
+              }
+            end
+          end
+        end)
+      inputs
+  in
+  let checked = ref 0 in
+  let wrong34 = ref 0 and wrong_narrow = ref 0 and narrow_checks = ref 0 in
+  Array.iteri
+    (fun i x ->
+      let vd = verdicts.(i) in
+      if vd.v_checked then incr checked;
+      if vd.v_wrong34 then incr wrong34;
+      narrow_checks := !narrow_checks + vd.v_narrow_checks;
+      wrong_narrow := !wrong_narrow + vd.v_wrong_narrow;
+      match vd.v_memo with
+      | Some y -> Hashtbl.replace g.oracle x y
+      | None -> ())
     inputs;
   {
-    total = !total;
+    total = Array.length inputs;
     checked = !checked;
     wrong34 = !wrong34;
     narrow_checks = !narrow_checks;

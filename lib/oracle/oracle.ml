@@ -111,14 +111,34 @@ let exp_reduced riv ~prec =
 
 (* ---------- cached constants ---------- *)
 
+(* Enclosure evaluation runs on worker domains during parallel oracle
+   table construction, so the shared constant cache is mutex-protected.
+   [compute] runs outside the lock (it may recurse into [cached], and a
+   duplicated computation is deterministic and merely wasted work). *)
 let const_cache : (string * int, Ival.t) Hashtbl.t = Hashtbl.create 16
+let const_cache_mutex = Mutex.create ()
 
 let cached key ~prec compute =
-  match Hashtbl.find_opt const_cache (key, prec) with
+  let lookup () =
+    Mutex.lock const_cache_mutex;
+    let v = Hashtbl.find_opt const_cache (key, prec) in
+    Mutex.unlock const_cache_mutex;
+    v
+  in
+  match lookup () with
   | Some v -> v
   | None ->
       let v = compute () in
-      Hashtbl.replace const_cache (key, prec) v;
+      Mutex.lock const_cache_mutex;
+      (* First writer wins so every domain sees one value per key. *)
+      let v =
+        match Hashtbl.find_opt const_cache (key, prec) with
+        | Some v0 -> v0
+        | None ->
+            Hashtbl.replace const_cache (key, prec) v;
+            v
+      in
+      Mutex.unlock const_cache_mutex;
       v
 
 (* ln 2 = 2 atanh(1/3). *)

@@ -1,0 +1,202 @@
+(* Fixed-size domain pool with deterministic chunked fan-out.
+
+   A fan-out splits [0, n) into a static chunk grid (depending only on n
+   and the job count), queues one task per chunk, and lets the pool's
+   workers *and the calling domain* drain the queue; the caller then
+   blocks until every chunk of its batch has completed.  Chunk results
+   land in per-chunk slots and are concatenated in chunk-index order, so
+   scheduling never influences the output.  All cross-domain publication
+   happens under the pool mutex, which gives the necessary happens-before
+   edges for the result slots. *)
+
+(* ---------- job count ---------- *)
+
+let default_jobs () =
+  match Sys.getenv_opt "RLIBM_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let current_jobs = ref 0 (* 0 = not yet initialized *)
+
+let jobs () =
+  if !current_jobs = 0 then current_jobs := default_jobs ();
+  !current_jobs
+
+(* ---------- pool ---------- *)
+
+type pool = {
+  mutex : Mutex.t;
+  work : Condition.t; (* queue became non-empty, or stopping *)
+  batch_done : Condition.t; (* some batch's pending count hit zero *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let the_pool : pool option ref = ref None
+let exit_hooked = ref false
+
+let worker pool =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    let rec next () =
+      if pool.stop then None
+      else
+        match Queue.take_opt pool.queue with
+        | Some t -> Some t
+        | None ->
+            Condition.wait pool.work pool.mutex;
+            next ()
+    in
+    match next () with
+    | None -> Mutex.unlock pool.mutex
+    | Some task ->
+        Mutex.unlock pool.mutex;
+        task ();
+        loop ()
+  in
+  loop ()
+
+let shutdown () =
+  match !the_pool with
+  | None -> ()
+  | Some pool ->
+      Mutex.lock pool.mutex;
+      pool.stop <- true;
+      Condition.broadcast pool.work;
+      Mutex.unlock pool.mutex;
+      Array.iter Domain.join pool.domains;
+      the_pool := None
+
+(* Pool of [j - 1] workers; the driver is the j-th executor. *)
+let ensure_pool j =
+  (match !the_pool with
+  | Some p when Array.length p.domains = j - 1 -> ()
+  | Some _ -> shutdown ()
+  | None -> ());
+  match !the_pool with
+  | Some p -> p
+  | None ->
+      let pool =
+        {
+          mutex = Mutex.create ();
+          work = Condition.create ();
+          batch_done = Condition.create ();
+          queue = Queue.create ();
+          stop = false;
+          domains = [||];
+        }
+      in
+      pool.domains <-
+        Array.init (j - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+      the_pool := Some pool;
+      if not !exit_hooked then begin
+        exit_hooked := true;
+        at_exit shutdown
+      end;
+      pool
+
+let set_jobs j =
+  let j = Stdlib.max 1 j in
+  if j <> jobs () then begin
+    (* Tear the old pool down now; the next fan-out rebuilds it. *)
+    shutdown ();
+    current_jobs := j
+  end
+
+(* Run every task (each must be exception-free: callers wrap their chunk
+   bodies) and return once all have finished.  The caller participates in
+   draining the queue, so j jobs means j domains doing work. *)
+let run_tasks pool (tasks : (unit -> unit) array) =
+  let pending = ref (Array.length tasks) in
+  let wrap task () =
+    task ();
+    Mutex.lock pool.mutex;
+    decr pending;
+    if !pending = 0 then Condition.broadcast pool.batch_done;
+    Mutex.unlock pool.mutex
+  in
+  Mutex.lock pool.mutex;
+  Array.iter (fun t -> Queue.add (wrap t) pool.queue) tasks;
+  Condition.broadcast pool.work;
+  let rec drain () =
+    match Queue.take_opt pool.queue with
+    | Some t ->
+        Mutex.unlock pool.mutex;
+        t ();
+        Mutex.lock pool.mutex;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  while !pending > 0 do
+    Condition.wait pool.batch_done pool.mutex
+  done;
+  Mutex.unlock pool.mutex
+
+(* ---------- chunked fan-out ---------- *)
+
+(* Several chunks per job: per-item cost is uneven (Ziv precision levels
+   differ wildly across oracle inputs), so over-decomposition plus the
+   shared queue gives load balancing without sacrificing determinism. *)
+let chunk_factor = 8
+
+(* Chunk k of c over n items: [k*n/c, (k+1)*n/c). *)
+let chunk_lo n c k = k * n / c
+let chunk_hi n c k = (k + 1) * n / c
+let chunk_count j n = Stdlib.min n (j * chunk_factor)
+
+(* Fan [n] items out as [c] chunk tasks; [body k lo hi] fills chunk k's
+   result slot.  The exception of the lowest-numbered failing chunk is
+   re-raised after the whole batch has finished, so no worker is ever
+   abandoned mid-write. *)
+let fan_out j n body =
+  let c = chunk_count j n in
+  let failed = Array.make c None in
+  let tasks =
+    Array.init c (fun k () ->
+        let lo = chunk_lo n c k and hi = chunk_hi n c k in
+        try body k lo hi
+        with e -> failed.(k) <- Some (e, Printexc.get_raw_backtrace ()))
+  in
+  run_tasks (ensure_pool j) tasks;
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    failed;
+  c
+
+let map_array ?(min = 2) f a =
+  let n = Array.length a in
+  let j = jobs () in
+  if j <= 1 || n < min || n <= 1 then Array.map f a
+  else begin
+    let slices = Array.make (chunk_count j n) [||] in
+    let _c =
+      fan_out j n (fun k lo hi ->
+          slices.(k) <- Array.init (hi - lo) (fun i -> f a.(lo + i)))
+    in
+    Array.concat (Array.to_list slices)
+  end
+
+let init ?(min = 2) n f =
+  let j = jobs () in
+  if j <= 1 || n < min || n <= 1 then Array.init n f
+  else begin
+    let slices = Array.make (chunk_count j n) [||] in
+    let _c =
+      fan_out j n (fun k lo hi ->
+          slices.(k) <- Array.init (hi - lo) (fun i -> f (lo + i)))
+    in
+    Array.concat (Array.to_list slices)
+  end
+
+let iter_chunks ?(min = 2) n f =
+  let j = jobs () in
+  if n <= 0 then ()
+  else if j <= 1 || n < min || n <= 1 then f 0 n
+  else ignore (fan_out j n (fun _k lo hi -> f lo hi))

@@ -1,0 +1,67 @@
+(** Deterministic multicore fan-out over a fixed-size domain pool.
+
+    The whole RLibm pipeline is embarrassingly parallel over inputs and
+    reduced points; this module is the single substrate every hot layer
+    (oracle table construction, the generate/validate loop, exhaustive
+    verification, the benchmark grid) uses to fan that work out across
+    OCaml 5 domains.
+
+    {2 Determinism contract}
+
+    Work on [n] items is split into chunks by a static partition that
+    depends only on [n] and the job count; chunk [k] covers
+    [\[k*n/c, (k+1)*n/c)].  Workers may execute chunks in any order, but
+    results are always merged in chunk-index order, so for a pure [f] the
+    output is bit-identical to the sequential path regardless of the
+    worker count or scheduling.  With [jobs () = 1] no domain is ever
+    spawned and every combinator degrades to its exact [Stdlib.Array]
+    sequential equivalent on the calling domain.
+
+    {2 Requirements on [f]}
+
+    [f] runs on worker domains: it must not raise data races — it may
+    read shared structures freely as long as nothing mutates them during
+    the call (e.g. oracle hash tables are read-only inside a fan-out and
+    memoized on the driver afterwards), and any writes must target
+    per-index disjoint locations.  Driver-domain-only state (the
+    generator's RNG, LP warm starts) must stay out of [f].
+
+    If [f] raises, the exception from the lowest-numbered failing chunk
+    is re-raised on the caller's domain after all chunks finish. *)
+
+(** Number of jobs the next fan-out will use.  Defaults to
+    [Domain.recommended_domain_count ()], overridable with the
+    [RLIBM_JOBS] environment variable and {!set_jobs} (the [-j] flag of
+    the executables). *)
+val jobs : unit -> int
+
+(** [set_jobs j] fixes the job count (clamped to at least 1).  An
+    existing pool of a different size is torn down; the next fan-out
+    lazily starts [j - 1] workers (the caller is the [j]-th). *)
+val set_jobs : int -> unit
+
+(** The default job count: [RLIBM_JOBS] if set and positive, otherwise
+    [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [map_array ?min f a] is [Array.map f a], fanned out when
+    [jobs () > 1] and [Array.length a >= min] (default [2]: parallel
+    whenever possible).  [min] exists so callers with very cheap [f] can
+    skip the fan-out overhead on small arrays. *)
+val map_array : ?min:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [init ?min n f] is [Array.init n f] with the same fan-out rule;
+    chunks tabulate disjoint index ranges. *)
+val init : ?min:int -> int -> (int -> 'a) -> 'a array
+
+(** [iter_chunks ?min n f] partitions [0..n-1] into the static chunk
+    grid and calls [f lo hi] for each half-open range [\[lo, hi)].
+    Sequentially ([jobs () = 1] or [n < min]) this is the single call
+    [f 0 n].  [f] must treat each index independently (fill disjoint
+    slots of a preallocated array) for the determinism contract to
+    hold. *)
+val iter_chunks : ?min:int -> int -> (int -> int -> unit) -> unit
+
+(** Join and discard the worker pool (idempotent; registered with
+    [at_exit]).  The next fan-out rebuilds it. *)
+val shutdown : unit -> unit

@@ -329,6 +329,11 @@ type compiled = {
 }
 
 let compile scheme coeffs =
+  (* Snapshot the coefficients: the generator's dither loop reuses its
+     candidate buffer across trials, and compiled evaluators run on other
+     domains during parallel validation — [data]/[eval] must not alias a
+     caller-mutated array. *)
+  let coeffs = Array.copy coeffs in
   let degree = Array.length coeffs - 1 in
   if degree < 0 then None
   else

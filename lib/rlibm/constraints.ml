@@ -80,6 +80,8 @@ let save_disk key (t : (int64, int64) Hashtbl.t) =
       Sys.rename (path ^ ".tmp") path
     with _ -> ()
 
+let clear_memory_cache () = Hashtbl.reset oracle_cache
+
 let oracle_table ~func ~(tin : Softfp.fmt) ~(tout : Softfp.fmt) =
   let key =
     Printf.sprintf "%s-%d-%d-%d" (Oracle.name func) tin.Softfp.ebits
@@ -103,53 +105,74 @@ let persist_oracle_table ~func ~(tin : Softfp.fmt) ~(tout : Softfp.fmt) =
   | Some t -> save_disk key t
   | None -> ()
 
+(* Per-input outcome of the parallel phase of [build]. *)
+type prepared =
+  | P_skip  (* non-finite input or analytic fast path *)
+  | P_special of int64  (* oracle bits; constraint not expressible *)
+  | P_point of { y : int64; piece : int; r : float; lo : float; hi : float }
+
 let build ~(cfg : Config.t) ~(family : Reduction.t) ~(inputs : int64 array) =
   let tin = cfg.tin and tout = Config.tout cfg in
   let oracle = oracle_table ~func:family.func ~tin ~tout in
   let table : (int * int64, point) Hashtbl.t =
     Hashtbl.create (Array.length inputs)
   in
-  let specials = ref [] in
-  Array.iter
-    (fun x ->
-      if Softfp.is_finite tin x then begin
-        let xf = Softfp.to_float tin x in
-        match family.shortcut xf with
-        | Some _ -> () (* analytic fast path; checked during verification *)
-        | None ->
-            let y =
-              match Hashtbl.find_opt oracle x with
-              | Some y -> y
-              | None ->
-                  let y =
+  (* Phase 1, parallel: the Ziv-loop oracle evaluations and the interval
+     pull-back — all the expensive per-input work.  Pure fan-out: the
+     shared oracle table is read, never written (memoization happens in
+     phase 2 on the driver), so concurrent lookups are safe. *)
+  let prep =
+    Parallel.map_array
+      (fun x ->
+        if not (Softfp.is_finite tin x) then P_skip
+        else begin
+          let xf = Softfp.to_float tin x in
+          match family.shortcut xf with
+          | Some _ -> P_skip (* analytic fast path; checked during verification *)
+          | None ->
+              let y =
+                match Hashtbl.find_opt oracle x with
+                | Some y -> y
+                | None ->
                     Oracle.correctly_round family.func (Softfp.to_rat tin x)
                       ~fmt:tout ~mode:Softfp.RTO
-                  in
-                  Hashtbl.replace oracle x y;
-                  y
-            in
-            let iv = Intervals.of_round_to_odd tout y in
-            let red = family.reduce xf in
-            (match reduced_interval red iv with
-            | None -> specials := (x, Softfp.to_float tout y) :: !specials
-            | Some (lo, hi) -> (
-                let key = (red.piece, Int64.bits_of_float red.r) in
-                match Hashtbl.find_opt table key with
-                | None ->
-                    Hashtbl.replace table key
-                      { r = red.r; piece = red.piece; lo; hi; xs = [ x ] }
-                | Some pt ->
-                    (* CalculatePhi: intersect intervals sharing a reduced
-                       input; an empty intersection demotes the newcomer to
-                       a special case. *)
-                    let nlo = Float.max pt.lo lo and nhi = Float.min pt.hi hi in
-                    if nlo <= nhi then begin
-                      pt.lo <- nlo;
-                      pt.hi <- nhi;
-                      pt.xs <- x :: pt.xs
-                    end
-                    else specials := (x, Softfp.to_float tout y) :: !specials))
-      end)
+              in
+              let iv = Intervals.of_round_to_odd tout y in
+              let red = family.reduce xf in
+              (match reduced_interval red iv with
+              | None -> P_special y
+              | Some (lo, hi) ->
+                  P_point { y; piece = red.piece; r = red.r; lo; hi })
+        end)
+      inputs
+  in
+  (* Phase 2, sequential and in input order (the merge order is part of
+     the output: an empty CalculatePhi intersection demotes the *newest*
+     input), so the result is bit-identical for every job count. *)
+  let specials = ref [] in
+  Array.iteri
+    (fun i x ->
+      match prep.(i) with
+      | P_skip -> ()
+      | P_special y ->
+          Hashtbl.replace oracle x y;
+          specials := (x, Softfp.to_float tout y) :: !specials
+      | P_point { y; piece; r; lo; hi } -> (
+          Hashtbl.replace oracle x y;
+          let key = (piece, Int64.bits_of_float r) in
+          match Hashtbl.find_opt table key with
+          | None -> Hashtbl.replace table key { r; piece; lo; hi; xs = [ x ] }
+          | Some pt ->
+              (* CalculatePhi: intersect intervals sharing a reduced
+                 input; an empty intersection demotes the newcomer to
+                 a special case. *)
+              let nlo = Float.max pt.lo lo and nhi = Float.min pt.hi hi in
+              if nlo <= nhi then begin
+                pt.lo <- nlo;
+                pt.hi <- nhi;
+                pt.xs <- x :: pt.xs
+              end
+              else specials := (x, Softfp.to_float tout y) :: !specials))
     inputs;
   persist_oracle_table ~func:family.func ~tin ~tout;
   let points = Array.make family.pieces [] in

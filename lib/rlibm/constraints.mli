@@ -39,9 +39,19 @@ val reduced_interval :
   Reduction.reduced -> Intervals.t -> (float * float) option
 
 (** [build ~cfg ~family ~inputs] assembles the merged constraint set for
-    the given input patterns (finite ones; others are ignored). *)
+    the given input patterns (finite ones; others are ignored).
+
+    The per-input oracle evaluations and interval pull-backs fan out
+    across the {!Parallel} pool; the CalculatePhi merge runs on the
+    driver in input order, so the result is bit-identical for every job
+    count. *)
 val build :
   cfg:Config.t ->
   family:Reduction.t ->
   inputs:int64 array ->
   build_result
+
+(** Drop every in-process memoized oracle table (the on-disk cache is
+    untouched).  For tests that need to re-pay the oracle computation —
+    e.g. the [-j 1] vs [-j N] determinism check. *)
+val clear_memory_cache : unit -> unit

@@ -77,12 +77,23 @@ let solve_piece ?(log = fun _ -> ()) ~scheme ~degree ~max_rounds ~max_specials
     if scheme = Polyeval.Knuth then t.(degree) <- Rat.of_ints 1 64;
     t
   in
-  (* Validate a compiled candidate against the original intervals. *)
+  (* Validate a compiled candidate against the original intervals: the
+     per-round sweep over every reduced point, fanned out across the
+     domain pool.  Only immutable data is touched ([r] and the original
+     interval arrays — never the working [lo]/[hi] fields, which the
+     driver mutates between sweeps), and the violated list is collected
+     in ascending index order, so the result is identical at any job
+     count.  Small pieces skip the fan-out: a sweep below ~2k points is
+     cheaper than the queue round-trip. *)
   let validate (compiled : Polyeval.compiled) =
+    let ok =
+      Parallel.init ~min:2048 n (fun i ->
+          let v = compiled.Polyeval.eval pts.(i).Constraints.r in
+          orig_lo.(i) <= v && v <= orig_hi.(i))
+    in
     let violated = ref [] in
     for i = n - 1 downto 0 do
-      let v = compiled.Polyeval.eval pts.(i).Constraints.r in
-      if not (orig_lo.(i) <= v && v <= orig_hi.(i)) then violated := i :: !violated
+      if not ok.(i) then violated := i :: !violated
     done;
     !violated
   in

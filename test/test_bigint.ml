@@ -129,6 +129,35 @@ let test_to_float_correct_rounding () =
   Alcotest.(check (float 0.0)) "neg huge" Float.neg_infinity
     (Bigint.to_float (Bigint.neg (Bigint.pow2 1100)))
 
+(* The limb-level scalar multiply must agree with the general product for
+   every scalar size class: single limb, two limbs, three limbs (> 2^60),
+   the native extremes, and negatives. *)
+let test_mul_int_large () =
+  let scalars =
+    [
+      0; 1; -1; 7; -7;
+      (1 lsl 30) - 1; 1 lsl 30; (1 lsl 30) + 1;  (* one/two limb boundary *)
+      -(1 lsl 30); (1 lsl 45) + 12345; -((1 lsl 45) + 12345);
+      (1 lsl 60) - 1; 1 lsl 60; (1 lsl 60) + 987654321;  (* three limbs *)
+      max_int; -max_int; min_int; min_int + 1;
+    ]
+  in
+  let values =
+    [ Bigint.zero; Bigint.one; Bigint.minus_one; bi max_int;
+      b "123456789123456789123456789123456789"; Bigint.neg (b "999999999999999999999999");
+      Bigint.pow2 200 ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun n ->
+          check_eq
+            (Printf.sprintf "%s * %d" (Bigint.to_string a) n)
+            (Bigint.to_string (Bigint.mul a (bi n)))
+            (Bigint.mul_int a n))
+        scalars)
+    values
+
 (* ---------- property tests ---------- *)
 
 (* Random decimal strings of widely varying size, signed. *)
@@ -150,6 +179,8 @@ let props =
         beq (Bigint.of_string (Bigint.to_string x)) x);
     prop "add comm" (QCheck2.Gen.pair arb_bigint arb_bigint) (fun (a, bb) ->
         beq (badd a bb) (badd bb a));
+    prop "mul_int agrees with mul" (QCheck2.Gen.pair arb_bigint QCheck2.Gen.int)
+      (fun (a, n) -> beq (Bigint.mul_int a n) (bmul a (Bigint.of_int n)));
     prop "mul comm" (QCheck2.Gen.pair arb_bigint arb_bigint) (fun (a, bb) ->
         beq (bmul a bb) (bmul bb a));
     prop "distributivity"
@@ -194,6 +225,7 @@ let suite =
     ("of_string forms", `Quick, test_of_string_forms);
     ("add/sub carries", `Quick, test_add_sub_known);
     ("mul known answers", `Quick, test_mul_known);
+    ("mul_int limb-level", `Quick, test_mul_int_large);
     ("karatsuba identity", `Quick, test_karatsuba_consistency);
     ("divmod semantics", `Quick, test_divmod_properties_known);
     ("fdiv/cdiv", `Quick, test_fdiv_cdiv);

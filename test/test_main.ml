@@ -13,4 +13,7 @@ let () =
       ("polyeval", Test_polyeval.suite);
       ("rlibm", Test_rlibm.suite);
       ("genlibm", Test_genlibm.suite);
+      (* Last: the determinism tests disable the oracle disk cache for
+         the rest of the process. *)
+      ("parallel", Test_parallel.suite);
     ]

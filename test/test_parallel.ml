@@ -1,0 +1,181 @@
+(* Tests for the deterministic domain-pool fan-out, and the end-to-end
+   determinism contract of the parallel pipeline: everything the
+   generator produces must be bit-identical at -j 1 and -j 4. *)
+
+let with_jobs j f =
+  let saved = Parallel.jobs () in
+  Parallel.set_jobs j;
+  Fun.protect ~finally:(fun () -> Parallel.set_jobs saved) f
+
+(* ---------- combinator unit tests ---------- *)
+
+let test_map_empty_and_tiny () =
+  with_jobs 4 (fun () ->
+      Alcotest.(check (array int)) "empty" [||] (Parallel.map_array succ [||]);
+      Alcotest.(check (array int)) "singleton" [| 1 |] (Parallel.map_array succ [| 0 |]);
+      (* fewer items than jobs * chunk factor *)
+      Alcotest.(check (array int)) "n < chunks" [| 1; 2; 3 |]
+        (Parallel.map_array succ [| 0; 1; 2 |]))
+
+let test_map_matches_sequential () =
+  let a = Array.init 10_000 (fun i -> i) in
+  let expect = Array.map (fun x -> (x * x) + 1) a in
+  List.iter
+    (fun j ->
+      with_jobs j (fun () ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "squares at -j %d" j)
+            expect
+            (Parallel.map_array (fun x -> (x * x) + 1) a)))
+    [ 1; 2; 4; 7 ]
+
+let test_init_matches_sequential () =
+  let expect = Array.init 4999 (fun i -> 3 * i) in
+  with_jobs 4 (fun () ->
+      Alcotest.(check (array int)) "init" expect (Parallel.init 4999 (fun i -> 3 * i)))
+
+let test_iter_chunks_covers () =
+  with_jobs 4 (fun () ->
+      let n = 7777 in
+      let seen = Array.make n 0 in
+      Parallel.iter_chunks n (fun lo hi ->
+          for i = lo to hi - 1 do
+            seen.(i) <- seen.(i) + 1
+          done);
+      Alcotest.(check bool) "each index exactly once" true
+        (Array.for_all (( = ) 1) seen);
+      Parallel.iter_chunks 0 (fun _ _ -> Alcotest.fail "chunk on empty range"))
+
+exception Boom of int
+
+let test_exception_propagation () =
+  with_jobs 4 (fun () ->
+      let a = Array.init 10_000 (fun i -> i) in
+      (* Both ends fail; the lowest-numbered chunk's exception must win,
+         deterministically, after the whole batch has drained. *)
+      (match
+         Parallel.map_array
+           (fun x -> if x = 3 || x = 9_999 then raise (Boom x) else x)
+           a
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom x -> Alcotest.(check int) "lowest chunk wins" 3 x);
+      (* The pool must survive a failed batch. *)
+      Alcotest.(check (array int)) "pool alive after exception"
+        (Array.map succ a)
+        (Parallel.map_array succ a))
+
+let test_pool_reuse () =
+  with_jobs 4 (fun () ->
+      let a = Array.init 2000 (fun i -> i) in
+      for round = 1 to 25 do
+        let got = Parallel.map_array (fun x -> x + round) a in
+        Alcotest.(check int)
+          (Printf.sprintf "round %d" round)
+          (1999 + round)
+          got.(1999)
+      done);
+  (* Resizing tears the pool down and rebuilds it lazily. *)
+  List.iter
+    (fun j ->
+      with_jobs j (fun () ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "resize to %d" j)
+            [| 0; 2; 4 |]
+            (Parallel.map_array (fun x -> 2 * x) [| 0; 1; 2 |])))
+    [ 2; 4; 2 ]
+
+let test_sequential_path () =
+  (* -j 1 must run everything on the calling domain: no worker is
+     spawned, f observes the driver's domain id. *)
+  with_jobs 1 (fun () ->
+      let self = (Domain.self () :> int) in
+      let a = Array.init 5000 (fun i -> i) in
+      let domains =
+        Parallel.map_array (fun _ -> (Domain.self () :> int)) a
+      in
+      Alcotest.(check bool) "driver domain only" true
+        (Array.for_all (( = ) self) domains);
+      Parallel.iter_chunks 100 (fun lo hi ->
+          Alcotest.(check (pair int int)) "single chunk" (0, 100) (lo, hi)))
+
+(* ---------- end-to-end determinism: -j 1 vs -j 4 ---------- *)
+
+let tiny_cfg =
+  {
+    Rlibm.Config.default_mini with
+    Rlibm.Config.tin = Softfp.make_fmt ~ebits:4 ~prec:7;
+    table_bits = 3;
+    max_specials = 40;
+    max_rounds = 20;
+  }
+
+(* Everything observable about a generated function, in canonical order
+   and exact bit patterns. *)
+let fingerprint (g : Rlibm.Generate.generated) =
+  let coeffs =
+    Array.to_list g.Rlibm.Generate.pieces
+    |> List.concat_map (fun (p : Polyeval.compiled) ->
+           Array.to_list (Array.map Int64.bits_of_float p.Polyeval.data))
+  in
+  let specials =
+    Hashtbl.fold
+      (fun x v acc -> (x, Int64.bits_of_float v) :: acc)
+      g.Rlibm.Generate.specials []
+    |> List.sort compare
+  in
+  let oracle =
+    Hashtbl.fold (fun x y acc -> (x, y) :: acc) g.Rlibm.Generate.oracle []
+    |> List.sort compare
+  in
+  ( coeffs,
+    Array.to_list g.Rlibm.Generate.degrees,
+    specials,
+    oracle )
+
+let generate_at ~jobs func scheme =
+  with_jobs jobs (fun () ->
+      (* Re-pay the oracle construction so the fan-out actually runs. *)
+      Rlibm.Constraints.clear_memory_cache ();
+      match Genlibm.generate ~cfg:tiny_cfg ~scheme func with
+      | Error msg -> Alcotest.failf "generation failed: %s" msg
+      | Ok g ->
+          let inputs =
+            Genlibm.inputs_exhaustive tiny_cfg.Rlibm.Config.tin
+          in
+          let rep = Genlibm.verify g ~inputs in
+          (fingerprint g, rep))
+
+let check_determinism func scheme () =
+  (* Keep the disk cache out of the picture: a warm file would let the
+     second run skip the parallel oracle computation entirely. *)
+  Unix.putenv "RLIBM_NO_DISK_CACHE" "1";
+  let (coeffs1, degrees1, specials1, oracle1), rep1 =
+    generate_at ~jobs:1 func scheme
+  in
+  let (coeffs4, degrees4, specials4, oracle4), rep4 =
+    generate_at ~jobs:4 func scheme
+  in
+  Alcotest.(check (list int64)) "coefficient bits" coeffs1 coeffs4;
+  Alcotest.(check (list int)) "degrees" degrees1 degrees4;
+  Alcotest.(check (list (pair int64 int64))) "special inputs" specials1 specials4;
+  Alcotest.(check (list (pair int64 int64))) "oracle table" oracle1 oracle4;
+  Alcotest.(check int) "verify checked" rep1.Genlibm.checked rep4.Genlibm.checked;
+  Alcotest.(check int) "verify wrong34" rep1.Genlibm.wrong34 rep4.Genlibm.wrong34;
+  Alcotest.(check int) "verify narrow checks" rep1.Genlibm.narrow_checks
+    rep4.Genlibm.narrow_checks;
+  Alcotest.(check int) "verify wrong narrow" rep1.Genlibm.wrong_narrow
+    rep4.Genlibm.wrong_narrow
+
+let suite =
+  [
+    ("map: empty / tiny", `Quick, test_map_empty_and_tiny);
+    ("map matches sequential", `Quick, test_map_matches_sequential);
+    ("init matches sequential", `Quick, test_init_matches_sequential);
+    ("iter_chunks covers once", `Quick, test_iter_chunks_covers);
+    ("exception propagation", `Quick, test_exception_propagation);
+    ("pool reuse and resize", `Quick, test_pool_reuse);
+    ("-j 1 sequential path", `Quick, test_sequential_path);
+    ("determinism log2/estrin -j1 vs -j4", `Slow, check_determinism Oracle.Log2 Polyeval.Estrin);
+    ("determinism exp2/estrin-fma -j1 vs -j4", `Slow, check_determinism Oracle.Exp2 Polyeval.EstrinFma);
+  ]

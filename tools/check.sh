@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1 gate for every PR: build, run the full test suite, and smoke-check
+# the parallel determinism contract (-j 1 output must be bit-identical to
+# -j N).  Usage: tools/check.sh [N]   (N = fan-out width, default 4)
+set -eu
+
+cd "$(dirname "$0")/.."
+N="${1:-4}"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== -j 1 vs -j $N smoke diff =="
+tmp1=$(mktemp) && tmpN=$(mktemp)
+trap 'rm -f "$tmp1" "$tmpN"' EXIT
+# Disable the oracle disk cache so both runs actually exercise the
+# (parallel) oracle construction rather than a file load.
+RLIBM_NO_DISK_CACHE=1 dune exec --no-build bin/rlibm_gen.exe -- generate \
+  --func log2 --scheme estrin --ebits 4 --prec 7 --verify -j 1 > "$tmp1"
+RLIBM_NO_DISK_CACHE=1 dune exec --no-build bin/rlibm_gen.exe -- generate \
+  --func log2 --scheme estrin --ebits 4 --prec 7 --verify -j "$N" > "$tmpN"
+diff "$tmp1" "$tmpN"
+echo "identical at -j 1 and -j $N"
+
+echo "== OK =="
