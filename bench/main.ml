@@ -23,9 +23,15 @@
                                                     timings as JSON for
                                                     perf trajectory
                                                     tracking)
+     dune exec bench/main.exe -- --cache-stats     (report oracle cache
+                                                    hit/miss/corrupt
+                                                    counters on stderr)
 
-   The first run computes the oracle tables and caches them in
-   ./.oracle-cache; subsequent runs are much faster. *)
+   The first run computes the oracle tables and persists them through the
+   hardened Cache store (default ./.oracle-cache; RLIBM_CACHE_DIR
+   relocates it, RLIBM_NO_DISK_CACHE=1 disables it); subsequent runs are
+   much faster.  Corrupt or stale entries are quarantined and regenerated,
+   never trusted — --cache-stats makes that visible. *)
 
 open Bechamel
 open Toolkit
@@ -419,4 +425,6 @@ let () =
   | Some path -> write_json path ~jobs timings
   | None -> ());
   if all || has "--post-process" then print_post_process grid;
-  if all || has "--correctness" then print_correctness grid
+  if all || has "--correctness" then print_correctness grid;
+  if has "--cache-stats" then
+    Format.eprintf "%a@." Cache.pp_stats (Cache.stats ())

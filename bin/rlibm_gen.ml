@@ -1,8 +1,10 @@
-(* Command-line interface to the generator, oracle and cost model.
+(* Command-line interface to the generator, oracle, cost model and the
+   persistent oracle cache.
 
      rlibm_gen generate --func exp2 --scheme estrin-fma [--ebits 5 --prec 8]
      rlibm_gen oracle   --func log2 --x 1.5 [--prec 96]
      rlibm_gen cost     [--degree 5]
+     rlibm_gen warm     [--ebits 5 --prec 8] [-j N]
 
    See README.md for a walkthrough. *)
 
@@ -39,11 +41,40 @@ let set_jobs jobs =
   Parallel.set_jobs
     (match jobs with Some j -> j | None -> Parallel.default_jobs ())
 
+(* ---------- oracle disk cache knobs (shared by generate and warm) ---------- *)
+
+let cache_dir_arg =
+  let doc =
+    "Directory of the persistent oracle cache (overrides \
+     $(b,RLIBM_CACHE_DIR); default ./.oracle-cache).  Set \
+     $(b,RLIBM_NO_DISK_CACHE=1) to disable persistence entirely."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let cache_stats_arg =
+  let doc =
+    "After the run, print the oracle cache counters (hits, misses, \
+     corrupt-rejected, bytes read/written) to stderr.  A nonzero \
+     corrupt-rejected count means entries failed header or checksum \
+     validation, were quarantined aside as *.corrupt-*, and were \
+     regenerated from scratch."
+  in
+  Arg.(value & flag & info [ "cache-stats" ] ~doc)
+
+let set_cache_dir = function Some d -> Cache.set_dir d | None -> ()
+
+let report_cache_stats enabled =
+  if enabled then Format.eprintf "%a@." Cache.pp_stats (Cache.stats ())
+
 (* ---------- generate ---------- *)
 
 let generate_cmd =
-  let run func scheme ebits prec pieces table_bits verify verbose jobs =
+  let run func scheme ebits prec pieces table_bits verify verbose jobs
+      cache_dir cache_stats =
     set_jobs jobs;
+    set_cache_dir cache_dir;
+    (* at_exit so the counters are reported even on the exit-1 paths. *)
+    if cache_stats then at_exit (fun () -> report_cache_stats true);
     let tin = Softfp.make_fmt ~ebits ~prec in
     let cfg =
       {
@@ -100,7 +131,43 @@ let generate_cmd =
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log the generation loop.") in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a correctly rounded elementary function")
-    Term.(const run $ func $ scheme $ ebits $ prec $ pieces $ table_bits $ verify $ verbose $ jobs_arg)
+    Term.(const run $ func $ scheme $ ebits $ prec $ pieces $ table_bits $ verify $ verbose $ jobs_arg $ cache_dir_arg $ cache_stats_arg)
+
+(* ---------- warm ---------- *)
+
+let warm_cmd =
+  let run ebits prec jobs cache_dir cache_stats =
+    set_jobs jobs;
+    set_cache_dir cache_dir;
+    let tin = Softfp.make_fmt ~ebits ~prec in
+    let pairs =
+      List.map
+        (fun f -> (f, { (Rlibm.Config.mini_for f) with Rlibm.Config.tin }))
+        Oracle.all
+    in
+    Printf.printf
+      "warming oracle tables for %d functions over %d-bit inputs (%d finite \
+       values each, -j %d)\n%!"
+      (List.length pairs) (Softfp.width tin)
+      (Softfp.count_finite tin) (Parallel.jobs ());
+    let counts =
+      Genlibm.warm_oracle_cache
+        ~log:(fun s -> Printf.printf "  %s\n%!" s)
+        pairs
+    in
+    Printf.printf "warmed %d oracle tables under %s\n" (List.length counts)
+      (Cache.dir ());
+    report_cache_stats cache_stats
+  in
+  let ebits = Arg.(value & opt int 5 & info [ "ebits" ] ~doc:"Exponent bits of the input format.") in
+  let prec = Arg.(value & opt int 8 & info [ "prec" ] ~doc:"Precision (significand bits incl. hidden) of the input format.") in
+  Cmd.v
+    (Cmd.info "warm"
+       ~doc:
+         "Precompute and persist the oracle tables of every function for an \
+          input format, fanning the Ziv loops out across the domain pool, \
+          so later generate/verify/bench runs start disk-warm")
+    Term.(const run $ ebits $ prec $ jobs_arg $ cache_dir_arg $ cache_stats_arg)
 
 (* ---------- oracle ---------- *)
 
@@ -177,4 +244,4 @@ let cost_cmd =
 
 let () =
   let doc = "RLibm-style correctly rounded function generator with fast polynomial evaluation" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "rlibm_gen" ~doc) [ generate_cmd; oracle_cmd; cost_cmd ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "rlibm_gen" ~doc) [ generate_cmd; oracle_cmd; cost_cmd; warm_cmd ]))

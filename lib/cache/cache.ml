@@ -1,0 +1,234 @@
+(* Versioned, checksummed binary artifact store with atomic publish and
+   quarantine.  See cache.mli for the contract.
+
+   On-disk layout (all integers big-endian):
+
+     offset 0   8 bytes   magic "RLBMCSH1"
+     offset 8   u32       container format version
+     offset 12  u32       key length K
+     offset 16  K bytes   full store key
+     ...        u32       payload length N
+     ...        u32       CRC-32 (IEEE) of the payload
+     ...        N bytes   payload (Marshal blob)
+
+   The file length must equal the header-implied length exactly; anything
+   else (truncation, appended garbage) is rejected before Marshal runs. *)
+
+let magic = "RLBMCSH1"
+let format_version = 1
+
+(* ---------- location / enablement ---------- *)
+
+let forced_dir = ref None
+
+let dir () =
+  match !forced_dir with
+  | Some d -> d
+  | None -> (
+      match Sys.getenv_opt "RLIBM_CACHE_DIR" with
+      | Some d when d <> "" -> d
+      | _ -> ".oracle-cache")
+
+let set_dir d = forced_dir := Some d
+
+let enabled () =
+  match Sys.getenv_opt "RLIBM_NO_DISK_CACHE" with
+  | Some s when s <> "" -> false
+  | _ -> true
+
+let sanitize_key key =
+  String.map
+    (fun c ->
+      match c with
+      | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '.' | '_' | '-' -> c
+      | _ -> '_')
+    key
+
+let path_of_key key = Filename.concat (dir ()) (sanitize_key key)
+
+(* ---------- counters ---------- *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  corrupt_rejected : int;
+  bytes_read : int;
+  bytes_written : int;
+}
+
+let c_hits = Atomic.make 0
+let c_misses = Atomic.make 0
+let c_corrupt = Atomic.make 0
+let c_bytes_read = Atomic.make 0
+let c_bytes_written = Atomic.make 0
+
+(* Per-process unique suffix source for temp and quarantine names. *)
+let name_counter = Atomic.make 0
+
+let stats () =
+  {
+    hits = Atomic.get c_hits;
+    misses = Atomic.get c_misses;
+    corrupt_rejected = Atomic.get c_corrupt;
+    bytes_read = Atomic.get c_bytes_read;
+    bytes_written = Atomic.get c_bytes_written;
+  }
+
+let reset_stats () =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [ c_hits; c_misses; c_corrupt; c_bytes_read; c_bytes_written ]
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "oracle cache [%s]: %d hits, %d misses, %d corrupt-rejected, %d bytes \
+     read, %d bytes written"
+    (dir ()) s.hits s.misses s.corrupt_rejected s.bytes_read s.bytes_written
+
+(* ---------- CRC-32 (IEEE 802.3, the zlib polynomial) ---------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let t = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      c :=
+        Int32.logxor
+          (Int32.shift_right_logical !c 8)
+          t.(Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ---------- encode / decode ---------- *)
+
+let encode ~key payload =
+  let b = Buffer.create (String.length payload + String.length key + 32) in
+  Buffer.add_string b magic;
+  Buffer.add_int32_be b (Int32.of_int format_version);
+  Buffer.add_int32_be b (Int32.of_int (String.length key));
+  Buffer.add_string b key;
+  Buffer.add_int32_be b (Int32.of_int (String.length payload));
+  Buffer.add_int32_be b (crc32 payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+type reject =
+  | Truncated
+  | Bad_magic
+  | Bad_version
+  | Bad_key
+  | Bad_checksum
+  | Bad_payload
+
+let decode ~key data =
+  let len = String.length data in
+  (* u32 fields masked to a non-negative int so garbage lengths cannot
+     wrap the bounds checks below. *)
+  let u32 off = Int32.to_int (String.get_int32_be data off) land 0xFFFFFFFF in
+  if len < 16 then Error Truncated
+  else if not (String.equal (String.sub data 0 8) magic) then Error Bad_magic
+  else if u32 8 <> format_version then Error Bad_version
+  else
+    let klen = u32 12 in
+    if len < 16 + klen + 8 then Error Truncated
+    else if not (String.equal (String.sub data 16 klen) key) then Error Bad_key
+    else
+      let plen = u32 (16 + klen) in
+      let crc = String.get_int32_be data (16 + klen + 4) in
+      let poff = 16 + klen + 8 in
+      if len <> poff + plen then Error Truncated
+      else
+        let payload = String.sub data poff plen in
+        if not (Int32.equal (crc32 payload) crc) then Error Bad_checksum
+        else
+          match Marshal.from_string payload 0 with
+          | v -> Ok v
+          | exception _ -> Error Bad_payload
+
+(* ---------- filesystem plumbing ---------- *)
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> () (* lost a creation race *)
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let unique_suffix () =
+  Printf.sprintf "%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add name_counter 1)
+
+(* Move a rejected file aside so it is never read again but stays
+   available for post-mortems; the caller then regenerates. *)
+let quarantine path =
+  try Sys.rename path (Printf.sprintf "%s.corrupt-%s" path (unique_suffix ()))
+  with Sys_error _ -> ()
+
+(* ---------- store / load ---------- *)
+
+let store ~key v =
+  if enabled () then
+    try
+      mkdir_p (dir ());
+      let path = path_of_key key in
+      let data = encode ~key (Marshal.to_string v []) in
+      (* Unique O_EXCL temp per attempt: concurrent writers (or a stale
+         temp from a crashed run that recycled our PID) can never open the
+         same file, and the final rename publishes atomically. *)
+      let rec attempt tries =
+        let tmp = Printf.sprintf "%s.tmp-%s" path (unique_suffix ()) in
+        match
+          open_out_gen [ Open_wronly; Open_creat; Open_excl; Open_binary ]
+            0o644 tmp
+        with
+        | oc -> (
+            match
+              output_string oc data;
+              close_out oc
+            with
+            | () ->
+                Sys.rename tmp path;
+                ignore (Atomic.fetch_and_add c_bytes_written (String.length data))
+            | exception e ->
+                close_out_noerr oc;
+                (try Sys.remove tmp with Sys_error _ -> ());
+                raise e)
+        | exception Sys_error _ when tries > 0 -> attempt (tries - 1)
+      in
+      attempt 3
+    with _ -> () (* persistence is best-effort; the caller can regenerate *)
+
+let load ~key =
+  if not (enabled ()) then None
+  else
+    let path = path_of_key key in
+    match read_file path with
+    | exception Sys_error _ ->
+        ignore (Atomic.fetch_and_add c_misses 1);
+        None
+    | data -> (
+        match decode ~key data with
+        | Ok v ->
+            ignore (Atomic.fetch_and_add c_hits 1);
+            ignore (Atomic.fetch_and_add c_bytes_read (String.length data));
+            Some v
+        | Error _reason ->
+            quarantine path;
+            ignore (Atomic.fetch_and_add c_corrupt 1);
+            None)

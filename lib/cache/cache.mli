@@ -1,0 +1,92 @@
+(** Hardened persistent store for expensive binary artifacts (oracle
+    tables today; shard manifests and serving snapshots later).
+
+    The previous ad-hoc cache wrote raw [Marshal] blobs and swallowed
+    every load error, so a truncated, bit-flipped or layout-drifted file
+    was either silently ignored or — worse — deserialized into garbage
+    that flowed straight into rounding intervals.  This store makes every
+    failure mode loud and recoverable:
+
+    - {b Versioned header.}  Every file starts with an 8-byte magic, a
+      format version, and the {e full} store key.  A file whose header
+      does not match exactly what the reader expects (old un-versioned
+      blob, different layout version, key collision, crafted rename) is
+      rejected, never deserialized.
+    - {b Checksummed payload.}  A CRC-32 over the marshalled payload is
+      stored in the header; silent corruption (truncation, bit flips,
+      torn writes on crash) is detected before [Marshal] ever runs.
+    - {b Atomic publish.}  Writers marshal into a unique temp file
+      ([.tmp-<pid>-<counter>], opened with [O_EXCL]) and publish with a
+      single [rename], so concurrent writers cannot clobber each other
+      mid-write and readers only ever observe complete files.
+    - {b Quarantine.}  A rejected file is renamed aside to
+      [<file>.corrupt-<pid>-<counter>] (kept for post-mortems) and the
+      load reports a miss, so the caller regenerates instead of trusting
+      garbage; the next publish replaces the entry.
+    - {b Observability.}  Hit / miss / corrupt-rejected / byte counters,
+      surfaced by the executables via [--cache-stats], so cache behaviour
+      is visible rather than inferred.
+
+    Payloads are still [Marshal] blobs, so a load is only type-safe when
+    the key fully determines the payload type {e and} layout — embed a
+    layout version in the key (see {!Rlibm.Constraints.oracle_cache_key})
+    and bump it whenever the marshalled type changes. *)
+
+(** Version of the on-disk container format (header layout), embedded in
+    every file and checked on load.  Distinct from any payload-layout
+    version, which belongs in the key. *)
+val format_version : int
+
+(** {1 Location and enablement} *)
+
+(** Directory holding the store: {!set_dir}'s value if called, otherwise
+    [$RLIBM_CACHE_DIR] if set and non-empty, otherwise [./.oracle-cache].
+    The environment is re-read on every call, so tests can flip it. *)
+val dir : unit -> string
+
+(** Override the store directory for this process (takes precedence over
+    [RLIBM_CACHE_DIR]); created lazily on first store. *)
+val set_dir : string -> unit
+
+(** Persistence is off when [RLIBM_NO_DISK_CACHE] is set to a non-empty
+    value: loads return [None] and stores are no-ops, without touching
+    the counters. *)
+val enabled : unit -> bool
+
+(** The file a key lives at: [dir ()/<sanitized key>] (characters outside
+    [A-Za-z0-9._-] become [_]).  Exposed for tests and tooling that need
+    to inspect or corrupt entries deliberately. *)
+val path_of_key : string -> string
+
+(** {1 Store and load} *)
+
+(** [store ~key v] marshals [v] and atomically publishes it under [key].
+    Best-effort: I/O failures (read-only directory, disk full) leave the
+    previous entry, if any, intact and are not fatal. *)
+val store : key:string -> 'a -> unit
+
+(** [load ~key] returns the stored value, or [None] when the entry is
+    absent (a miss) or fails validation (counted as corrupt-rejected and
+    quarantined aside).  The unsafe ['a] is inherent to [Marshal]; see
+    the module comment for the key discipline that makes it sound. *)
+val load : key:string -> 'a option
+
+(** {1 Observability} *)
+
+type stats = {
+  hits : int;  (** loads that validated and deserialized *)
+  misses : int;  (** loads of absent entries *)
+  corrupt_rejected : int;
+      (** loads rejected by header/checksum/decode validation; each one
+          quarantined a file *)
+  bytes_read : int;  (** file bytes of successful loads *)
+  bytes_written : int;  (** file bytes of successful publishes *)
+}
+
+(** Snapshot of the process-wide counters (domain-safe). *)
+val stats : unit -> stats
+
+val reset_stats : unit -> unit
+
+(** One-line human-readable counter report, e.g. for [--cache-stats]. *)
+val pp_stats : Format.formatter -> stats -> unit

@@ -44,6 +44,17 @@ val generate_sampled :
   Oracle.func ->
   (t, string) result * int64 array
 
+(** [warm_oracle_cache pairs] builds (and persists through {!Cache}) the
+    oracle table of every [(func, cfg)] pair over the exhaustive inputs
+    of [cfg.tin], returning the per-pair oracle entry counts.  The
+    per-input Ziv loops fan out across the {!Parallel} pool, so one warm
+    run at [-j N] fills the disk cache for every later generate /
+    verify / benchmark run of those configurations. *)
+val warm_oracle_cache :
+  ?log:(string -> unit) ->
+  (Oracle.func * Rlibm.Config.t) list ->
+  (Oracle.func * int) list
+
 (** {1 Evaluation} *)
 
 (** Full implementation path on an input bit pattern of [cfg.tin],

@@ -32,77 +32,67 @@ let reduced_interval (red : Reduction.reduced) (iv : Intervals.t) =
   let inside v = iv.Intervals.lo <= v && v <= iv.Intervals.hi in
   let g_lo = ref (Rat.to_float_dir Rat.Up (red.oc_inv (Rat.of_float iv.Intervals.lo))) in
   let g_hi = ref (Rat.to_float_dir Rat.Down (red.oc_inv (Rat.of_float iv.Intervals.hi))) in
-  let budget = ref 256 in
-  while !budget > 0 && !g_lo <= !g_hi && not (inside (red.oc !g_lo)) do
+  (* Each direction gets its own nudge budget: with a single shared
+     budget a hard lower boundary drains it before the upper fix-up runs,
+     misclassifying a recoverable constraint as infeasible. *)
+  let budget_lo = ref 256 in
+  while !budget_lo > 0 && !g_lo <= !g_hi && not (inside (red.oc !g_lo)) do
     g_lo := Float.succ !g_lo;
-    decr budget
+    decr budget_lo
   done;
-  while !budget > 0 && !g_lo <= !g_hi && not (inside (red.oc !g_hi)) do
+  let budget_hi = ref 256 in
+  while !budget_hi > 0 && !g_lo <= !g_hi && not (inside (red.oc !g_hi)) do
     g_hi := Float.pred !g_hi;
-    decr budget
+    decr budget_hi
   done;
-  if !budget > 0 && !g_lo <= !g_hi && inside (red.oc !g_lo) && inside (red.oc !g_hi)
+  if !g_lo <= !g_hi && inside (red.oc !g_lo) && inside (red.oc !g_hi)
   then Some (!g_lo, !g_hi)
   else None
 
 (* The oracle results are the expensive part of generation and depend only
    on (function, input format, target format) — share them across the four
-   evaluation schemes, and persist them to disk (the moral equivalent of
-   the artifact's pre-generated oracle files) so repeated runs of the
-   tests, benchmarks and examples do not re-pay the Ziv loops.  Set
-   RLIBM_NO_DISK_CACHE to disable persistence. *)
+   evaluation schemes, and persist them through the hardened {!Cache}
+   store (the moral equivalent of the artifact's pre-generated oracle
+   files) so repeated runs of the tests, benchmarks and examples do not
+   re-pay the Ziv loops.  Set RLIBM_NO_DISK_CACHE to disable persistence,
+   RLIBM_CACHE_DIR to relocate it. *)
 let oracle_cache : (string, (int64, int64) Hashtbl.t) Hashtbl.t =
   Hashtbl.create 8
 
-let cache_dir = ".oracle-cache"
+(* Layout version of the marshalled oracle table.  Part of the store key:
+   bumping it makes every older entry unreachable (regenerated, never
+   trusted), which is how payload-type drift is kept away from Marshal. *)
+let store_version = 1
 
-let disk_cache_enabled () = Sys.getenv_opt "RLIBM_NO_DISK_CACHE" = None
-
-let load_disk key : (int64, int64) Hashtbl.t option =
-  let path = Filename.concat cache_dir key in
-  if disk_cache_enabled () && Sys.file_exists path then
-    try
-      let ic = open_in_bin path in
-      let t = (Marshal.from_channel ic : (int64, int64) Hashtbl.t) in
-      close_in ic;
-      Some t
-    with _ -> None
-  else None
-
-let save_disk key (t : (int64, int64) Hashtbl.t) =
-  if disk_cache_enabled () then
-    try
-      if not (Sys.file_exists cache_dir) then Sys.mkdir cache_dir 0o755;
-      let path = Filename.concat cache_dir key in
-      let oc = open_out_bin (path ^ ".tmp") in
-      Marshal.to_channel oc t [];
-      close_out oc;
-      Sys.rename (path ^ ".tmp") path
-    with _ -> ()
+let oracle_cache_key ~func ~(tin : Softfp.fmt) ~(tout : Softfp.fmt) =
+  (* The table depends on the *full* identity of both formats.  The old
+     key ("%s-%d-%d-%d") omitted tout.ebits, so two target formats with
+     equal precision but different exponent ranges silently shared one
+     table; old-format file names are never generated, so un-versioned
+     entries are simply ignored. *)
+  Printf.sprintf "%s-in%d.%d-out%d.%d-v%d" (Oracle.name func)
+    tin.Softfp.ebits tin.Softfp.prec tout.Softfp.ebits tout.Softfp.prec
+    store_version
 
 let clear_memory_cache () = Hashtbl.reset oracle_cache
 
 let oracle_table ~func ~(tin : Softfp.fmt) ~(tout : Softfp.fmt) =
-  let key =
-    Printf.sprintf "%s-%d-%d-%d" (Oracle.name func) tin.Softfp.ebits
-      tin.Softfp.prec tout.Softfp.prec
-  in
+  let key = oracle_cache_key ~func ~tin ~tout in
   match Hashtbl.find_opt oracle_cache key with
   | Some t -> t
   | None ->
       let t =
-        match load_disk key with Some t -> t | None -> Hashtbl.create 4096
+        match (Cache.load ~key : (int64, int64) Hashtbl.t option) with
+        | Some t -> t
+        | None -> Hashtbl.create 4096
       in
       Hashtbl.replace oracle_cache key t;
       t
 
 let persist_oracle_table ~func ~(tin : Softfp.fmt) ~(tout : Softfp.fmt) =
-  let key =
-    Printf.sprintf "%s-%d-%d-%d" (Oracle.name func) tin.Softfp.ebits
-      tin.Softfp.prec tout.Softfp.prec
-  in
+  let key = oracle_cache_key ~func ~tin ~tout in
   match Hashtbl.find_opt oracle_cache key with
-  | Some t -> save_disk key t
+  | Some t -> Cache.store ~key t
   | None -> ()
 
 (* Per-input outcome of the parallel phase of [build]. *)

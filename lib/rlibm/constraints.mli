@@ -5,9 +5,12 @@
     round-to-odd oracle result, pulled back through the inverse output
     compensation and repaired against the actual double OC; constraints
     that share a reduced input are intersected (CalculatePhi).  Oracle
-    results are memoized in-process and on disk (./.oracle-cache, disable
-    with RLIBM_NO_DISK_CACHE) since they are shared by all four evaluation
-    schemes. *)
+    results are memoized in-process and persisted through the hardened
+    {!Cache} store (default ./.oracle-cache; relocate with
+    RLIBM_CACHE_DIR, disable with RLIBM_NO_DISK_CACHE) since they are
+    shared by all four evaluation schemes.  Corrupt or stale entries are
+    detected, quarantined and regenerated — they never flow into rounding
+    intervals. *)
 
 type point = {
   r : float;  (** reduced input *)
@@ -55,3 +58,13 @@ val build :
     untouched).  For tests that need to re-pay the oracle computation —
     e.g. the [-j 1] vs [-j N] determinism check. *)
 val clear_memory_cache : unit -> unit
+
+(** The collision-free persistent-store key of the oracle table for
+    [(func, tin, tout)]: covers both formats' exponent width {e and}
+    precision plus the table's layout version, so formats with equal
+    precision but different exponent ranges never share an entry, and a
+    layout bump orphans (never trusts) older entries.  Pair with
+    {!Cache.path_of_key} to locate the file — used by the cache-poisoning
+    tests and tools/check.sh. *)
+val oracle_cache_key :
+  func:Oracle.func -> tin:Softfp.fmt -> tout:Softfp.fmt -> string

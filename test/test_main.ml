@@ -13,6 +13,9 @@ let () =
       ("polyeval", Test_polyeval.suite);
       ("rlibm", Test_rlibm.suite);
       ("genlibm", Test_genlibm.suite);
+      (* Needs the disk cache enabled, so it must precede the parallel
+         suite (see below). *)
+      ("cache", Test_cache.suite);
       (* Last: the determinism tests disable the oracle disk cache for
          the rest of the process. *)
       ("parallel", Test_parallel.suite);

@@ -212,6 +212,36 @@ let test_reduced_interval_log () =
             [ lo; hi ])
     [ 1.17; 3.0; 9.5; 1000.0; 0.0625; 0.7 ]
 
+let test_reduced_interval_budget_per_direction () =
+  (* Regression: the fix-up loops used to share one 256-step budget, so a
+     boundary needing many lower nudges starved the upper fix-up and a
+     recoverable constraint was misclassified as infeasible.  Build a
+     synthetic reduction whose exact inverse lands ~200 nudges outside on
+     *both* sides: the lower loop needs ~200 of its 256 steps, and the
+     upper loop must still have a full budget of its own. *)
+  let ulp = Float.succ 1.0 -. 1.0 in
+  let iv = { Rlibm.Intervals.lo = 1.0; hi = 1.0 +. (64.0 *. ulp) } in
+  let mid = Rat.of_float (1.0 +. (32.0 *. ulp)) in
+  let shift = Rat.of_float (100.0 *. ulp) in
+  let oc_inv q =
+    (* push the lower endpoint below the interval and the upper one
+       above it, so both directions have repair work to do *)
+    if Rat.compare q mid <= 0 then Rat.sub q shift else Rat.add q shift
+  in
+  let red =
+    { Rlibm.Reduction.r = 0.0; piece = 0; oc = (fun v -> v); oc_inv }
+  in
+  match Rlibm.Constraints.reduced_interval red iv with
+  | None ->
+      Alcotest.fail
+        "feasible constraint misclassified: the upper fix-up was starved"
+  | Some (lo, hi) ->
+      Alcotest.(check bool) "nonempty" true (lo <= hi);
+      Alcotest.(check bool) "lo mapped inside" true
+        (Rlibm.Intervals.contains iv lo);
+      Alcotest.(check bool) "hi mapped inside" true
+        (Rlibm.Intervals.contains iv hi)
+
 (* ---------- constraint building ---------- *)
 
 let test_build_merges_and_covers () =
@@ -270,6 +300,9 @@ let suite =
     ("log shortcuts", `Quick, test_log_shortcuts);
     ("reduced interval exponential", `Quick, test_reduced_interval_exponential);
     ("reduced interval log (fixup)", `Quick, test_reduced_interval_log);
+    ( "reduced interval per-direction budget",
+      `Quick,
+      test_reduced_interval_budget_per_direction );
     ("constraint building", `Quick, test_build_merges_and_covers);
     ("mini config", `Quick, test_mini_config_sanity);
   ]

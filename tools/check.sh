@@ -1,7 +1,9 @@
 #!/bin/sh
-# Tier-1 gate for every PR: build, run the full test suite, and smoke-check
+# Tier-1 gate for every PR: build, run the full test suite, smoke-check
 # the parallel determinism contract (-j 1 output must be bit-identical to
-# -j N).  Usage: tools/check.sh [N]   (N = fan-out width, default 4)
+# -j N), and smoke-check that a poisoned oracle cache is rejected and
+# regenerated without changing a single output bit.
+# Usage: tools/check.sh [N]   (N = fan-out width, default 4)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,7 +17,8 @@ dune runtest
 
 echo "== -j 1 vs -j $N smoke diff =="
 tmp1=$(mktemp) && tmpN=$(mktemp)
-trap 'rm -f "$tmp1" "$tmpN"' EXIT
+cachedir=$(mktemp -d) && cold=$(mktemp) && poisoned=$(mktemp) && stats=$(mktemp)
+trap 'rm -f "$tmp1" "$tmpN" "$cold" "$poisoned" "$stats"; rm -rf "$cachedir"' EXIT
 # Disable the oracle disk cache so both runs actually exercise the
 # (parallel) oracle construction rather than a file load.
 RLIBM_NO_DISK_CACHE=1 dune exec --no-build bin/rlibm_gen.exe -- generate \
@@ -24,5 +27,25 @@ RLIBM_NO_DISK_CACHE=1 dune exec --no-build bin/rlibm_gen.exe -- generate \
   --func log2 --scheme estrin --ebits 4 --prec 7 --verify -j "$N" > "$tmpN"
 diff "$tmp1" "$tmpN"
 echo "identical at -j 1 and -j $N"
+
+echo "== cache poisoning smoke =="
+# Cold-cache fingerprint: coefficients, special inputs, verify verdict.
+RLIBM_CACHE_DIR="$cachedir" dune exec --no-build bin/rlibm_gen.exe -- generate \
+  --func exp2 --scheme estrin-fma --ebits 4 --prec 7 --verify > "$cold"
+[ -n "$(ls "$cachedir")" ] || { echo "no cache entry written"; exit 1; }
+# Corrupt every cache entry (clobber the magic) and re-run: the store must
+# quarantine, regenerate, and reproduce the cold-cache output bit for bit.
+for f in "$cachedir"/*; do
+  printf 'XXXX' | dd of="$f" bs=1 conv=notrunc 2>/dev/null
+done
+RLIBM_CACHE_DIR="$cachedir" dune exec --no-build bin/rlibm_gen.exe -- generate \
+  --func exp2 --scheme estrin-fma --ebits 4 --prec 7 --verify --cache-stats \
+  > "$poisoned" 2> "$stats"
+diff "$cold" "$poisoned"
+grep -Eq '[1-9][0-9]* corrupt-rejected' "$stats" \
+  || { echo "corruption was not detected:"; cat "$stats"; exit 1; }
+ls "$cachedir"/*.corrupt-* > /dev/null \
+  || { echo "corrupt entry was not quarantined"; exit 1; }
+echo "poisoned cache rejected, quarantined, and regenerated bit-identically"
 
 echo "== OK =="
