@@ -23,14 +23,23 @@
                                                     timings as JSON for
                                                     perf trajectory
                                                     tracking)
-     dune exec bench/main.exe -- --cache-stats     (report oracle cache
+     dune exec bench/main.exe -- --gen-json PATH   (cold vs warm staged
+                                                    generation timings per
+                                                    function, in a fresh
+                                                    store directory)
+     dune exec bench/main.exe -- --cache-dir DIR   (relocate the store)
+     dune exec bench/main.exe -- --cache-stats     (report artifact store
                                                     hit/miss/corrupt
-                                                    counters on stderr)
+                                                    counters, per kind,
+                                                    on stderr)
 
-   The first run computes the oracle tables and persists them through the
-   hardened Cache store (default ./.oracle-cache; RLIBM_CACHE_DIR
-   relocates it, RLIBM_NO_DISK_CACHE=1 disables it); subsequent runs are
-   much faster.  Corrupt or stale entries are quarantined and regenerated,
+   Generation runs through the staged pipeline (lib/pipeline): the first
+   run persists every stage — oracle table, rounding intervals, merged
+   constraints, per-scheme polynomial, verdict — through the hardened
+   Cache store (default ./.oracle-cache; RLIBM_CACHE_DIR relocates it,
+   RLIBM_NO_DISK_CACHE=1 disables it); subsequent runs load the deepest
+   stage directly and perform zero oracle evaluations and zero LP
+   solves.  Corrupt or stale entries are quarantined and regenerated,
    never trusted — --cache-stats makes that visible. *)
 
 open Bechamel
@@ -50,7 +59,7 @@ let generate_grid funcs =
       let cfg = Rlibm.Config.mini_for func in
       List.map
         (fun scheme ->
-          { func; scheme; gen = Genlibm.generate ~cfg ~scheme func })
+          { func; scheme; gen = Pipeline.generate ~cfg ~scheme func })
         Polyeval.paper_schemes)
     funcs
 
@@ -364,45 +373,132 @@ let print_correctness grid =
           Printf.printf "%-7s %-11s FAILED: %s\n" (Oracle.name e.func)
             (Polyeval.scheme_name e.scheme) msg
       | Ok g ->
-          let inputs =
-            Genlibm.inputs_exhaustive g.Rlibm.Generate.cfg.Rlibm.Config.tin
+          (* The verdict stage: persisted like every other artifact, so a
+             re-run of the harness loads it instead of re-verifying. *)
+          let rep =
+            match
+              Pipeline.verified ~cfg:g.Rlibm.Generate.cfg ~scheme:e.scheme
+                e.func
+            with
+            | Ok (_, rep) -> rep
+            | Error _ ->
+                Genlibm.verify g
+                  ~inputs:
+                    (Genlibm.inputs_exhaustive
+                       g.Rlibm.Generate.cfg.Rlibm.Config.tin)
           in
-          let rep = Genlibm.verify g ~inputs in
           Printf.printf "%-7s %-11s %s\n%!" (Oracle.name e.func)
             (Polyeval.scheme_name e.scheme)
             (Format.asprintf "%a" Genlibm.pp_verify_report rep))
     grid;
   print_newline ()
 
+(* ---------- staged-generation timings (cold vs warm store) ---------- *)
+
+(* End-to-end pipeline wall time per function — generate + verify through
+   lib/pipeline — measured twice against a fresh store directory: cold
+   (every stage rebuilt) and warm (every stage loaded; zero oracle
+   evaluations, zero LP solves).  The in-process oracle memo is dropped
+   between the runs so the warm figure measures the disk path. *)
+
+let rebuilt_stages () =
+  List.length
+    (List.filter
+       (fun e -> e.Pipeline.ev_status = Pipeline.Rebuilt)
+       (Pipeline.events ()))
+
+type gen_timing = {
+  g_func : Oracle.func;
+  g_cold_s : float;
+  g_warm_s : float;
+  g_cold_rebuilt : int;
+  g_warm_rebuilt : int;
+  g_ok : bool;
+}
+
+let measure_generation funcs =
+  let scheme = Polyeval.EstrinFma in
+  let saved = Cache.dir () in
+  let tmp =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rlibm-bench-gen-%d" (Unix.getpid ()))
+  in
+  (try Sys.mkdir tmp 0o755 with Sys_error _ -> ());
+  Cache.set_dir tmp;
+  Fun.protect
+    ~finally:(fun () -> Cache.set_dir saved)
+    (fun () ->
+      List.map
+        (fun func ->
+          let cfg = Rlibm.Config.mini_for func in
+          let timed () =
+            Rlibm.Constraints.clear_memory_cache ();
+            Pipeline.reset_events ();
+            let t0 = Unix.gettimeofday () in
+            let r = Pipeline.verified ~cfg ~scheme func in
+            (Unix.gettimeofday () -. t0, rebuilt_stages (), r)
+          in
+          let cold_s, cold_rebuilt, cold = timed () in
+          let warm_s, warm_rebuilt, warm = timed () in
+          Printf.printf
+            "%-7s cold %6.2fs (%d stages rebuilt)  warm %6.3fs (%d rebuilt)\n%!"
+            (Oracle.name func) cold_s cold_rebuilt warm_s warm_rebuilt;
+          {
+            g_func = func;
+            g_cold_s = cold_s;
+            g_warm_s = warm_s;
+            g_cold_rebuilt = cold_rebuilt;
+            g_warm_rebuilt = warm_rebuilt;
+            g_ok = (match (cold, warm) with Ok _, Ok _ -> true | _ -> false);
+          })
+        funcs)
+
+let write_gen_json path ~jobs rows =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"timestamp\": %.0f,\n\
+    \  \"jobs\": %d,\n\
+    \  \"input_bits\": %d,\n\
+    \  \"scheme\": %S,\n\
+    \  \"generation\": [\n"
+    (Unix.time ()) jobs
+    (Softfp.width Rlibm.Config.mini_tin)
+    (Polyeval.scheme_name Polyeval.EstrinFma);
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"func\": %S, \"cold_s\": %.4f, \"warm_s\": %.4f, \
+         \"cold_rebuilt_stages\": %d, \"warm_rebuilt_stages\": %d, \
+         \"warm_speedup\": %.1f, \"ok\": %b}%s\n"
+        (Oracle.name r.g_func) r.g_cold_s r.g_warm_s r.g_cold_rebuilt
+        r.g_warm_rebuilt
+        (if r.g_warm_s > 0.0 then r.g_cold_s /. r.g_warm_s else 0.0)
+        r.g_ok
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d generation timing rows)\n%!" path n
+
 (* ---------- driver ---------- *)
 
 let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
-  (* Value of "--opt V" (or "-o V"); None when absent. *)
-  let rec opt_value names = function
-    | [] | [ _ ] -> None
-    | a :: v :: rest ->
-        if List.mem a names then Some v else opt_value names (v :: rest)
-  in
-  let jobs =
-    match opt_value [ "-j"; "--jobs" ] args with
-    | Some v -> (
-        match int_of_string_opt v with
-        | Some j when j >= 1 -> j
-        | _ ->
-            Printf.eprintf "bad -j value %S\n" v;
-            exit 2)
-    | None -> Parallel.default_jobs ()
-  in
+  let jobs = Cli.parse_jobs args in
   Parallel.set_jobs jobs;
-  let json_path = opt_value [ "--json" ] args in
+  Cli.set_cache_dir (Cli.opt_value [ "--cache-dir" ] args);
+  let json_path = Cli.opt_value [ "--json" ] args in
+  let gen_json_path = Cli.opt_value [ "--gen-json" ] args in
   let quick = has "--quick" in
   let funcs = if quick then [ Oracle.Exp2; Oracle.Log2 ] else Oracle.all in
   let all =
     not
       (has "--table1" || has "--table2" || has "--post-process"
-     || has "--correctness" || has "--cost")
+     || has "--correctness" || has "--cost" || gen_json_path <> None)
   in
   Printf.printf
     "rlibm-fastpoly benchmark harness (%d functions x %d schemes, %d-bit \
@@ -426,5 +522,10 @@ let () =
   | None -> ());
   if all || has "--post-process" then print_post_process grid;
   if all || has "--correctness" then print_correctness grid;
-  if has "--cache-stats" then
-    Format.eprintf "%a@." Cache.pp_stats (Cache.stats ())
+  (match gen_json_path with
+  | Some path ->
+      print_endline
+        "== staged generation: cold vs warm store (fresh directory) ==";
+      write_gen_json path ~jobs (measure_generation funcs)
+  | None -> ());
+  Cli.report_cache_stats (has "--cache-stats")

@@ -1,178 +1,240 @@
-(* Command-line interface to the generator, oracle, cost model and the
-   persistent oracle cache.
+(* Command-line interface to the staged generation pipeline, oracle,
+   cost model and the persistent artifact store.
 
      rlibm_gen generate --func exp2 --scheme estrin-fma [--ebits 5 --prec 8]
+     rlibm_gen stages   --func exp2 --scheme estrin-fma   (per-stage status)
+     rlibm_gen warm     [--func log2] [--through poly] [-j N]
      rlibm_gen oracle   --func log2 --x 1.5 [--prec 96]
      rlibm_gen cost     [--degree 5]
-     rlibm_gen warm     [--ebits 5 --prec 8] [-j N]
 
-   See README.md for a walkthrough. *)
+   Generation runs through lib/pipeline: each stage (oracle table,
+   rounding intervals, reduced constraints, LP polynomial, verdict) is a
+   persisted artifact, so an interrupted run resumes from the last
+   completed stage and a warm re-run performs zero oracle evaluations
+   and zero LP solves.  See README.md for a walkthrough. *)
 
 open Cmdliner
 
-let func_arg =
-  let parse s =
-    match Oracle.of_name s with
-    | Some f -> Ok f
-    | None -> Error (`Msg (Printf.sprintf "unknown function %S" s))
-  in
-  let print fmt f = Format.pp_print_string fmt (Oracle.name f) in
-  Arg.conv (parse, print)
+let require_func = function
+  | Some f -> f
+  | None ->
+      Printf.eprintf "missing required option --func\n";
+      exit 2
 
-let scheme_arg =
-  let parse s =
-    match Polyeval.scheme_of_name s with
-    | Some x -> Ok x
-    | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
-  in
-  let print fmt s = Format.pp_print_string fmt (Polyeval.scheme_name s) in
-  Arg.conv (parse, print)
+let cfg_for func ~ebits ~prec ~pieces ~table_bits =
+  let tin = Softfp.make_fmt ~ebits ~prec in
+  {
+    (Rlibm.Config.mini_for func) with
+    Rlibm.Config.tin;
+    pieces =
+      (match pieces with
+      | Some p -> p
+      | None -> (Rlibm.Config.mini_for func).Rlibm.Config.pieces);
+    table_bits;
+  }
 
-let jobs_arg =
-  let doc =
-    "Fan the oracle construction, generation loop and verification out \
-     over $(docv) domains (deterministic: the output is bit-identical for \
-     every value).  Defaults to the machine's core count; 1 takes the \
-     exact sequential code path."
-  in
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+let pieces_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pieces" ] ~doc:"Sub-domains of the reduced domain.")
 
-let set_jobs jobs =
-  Parallel.set_jobs
-    (match jobs with Some j -> j | None -> Parallel.default_jobs ())
-
-(* ---------- oracle disk cache knobs (shared by generate and warm) ---------- *)
-
-let cache_dir_arg =
-  let doc =
-    "Directory of the persistent oracle cache (overrides \
-     $(b,RLIBM_CACHE_DIR); default ./.oracle-cache).  Set \
-     $(b,RLIBM_NO_DISK_CACHE=1) to disable persistence entirely."
-  in
-  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
-
-let cache_stats_arg =
-  let doc =
-    "After the run, print the oracle cache counters (hits, misses, \
-     corrupt-rejected, bytes read/written) to stderr.  A nonzero \
-     corrupt-rejected count means entries failed header or checksum \
-     validation, were quarantined aside as *.corrupt-*, and were \
-     regenerated from scratch."
-  in
-  Arg.(value & flag & info [ "cache-stats" ] ~doc)
-
-let set_cache_dir = function Some d -> Cache.set_dir d | None -> ()
-
-let report_cache_stats enabled =
-  if enabled then Format.eprintf "%a@." Cache.pp_stats (Cache.stats ())
+let table_bits_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "table-bits" ] ~doc:"Log-family reduction table bits.")
 
 (* ---------- generate ---------- *)
 
 let generate_cmd =
   let run func scheme ebits prec pieces table_bits verify verbose jobs
       cache_dir cache_stats =
-    set_jobs jobs;
-    set_cache_dir cache_dir;
+    let func = require_func func in
+    Cli.set_jobs jobs;
+    Cli.set_cache_dir cache_dir;
     (* at_exit so the counters are reported even on the exit-1 paths. *)
-    if cache_stats then at_exit (fun () -> report_cache_stats true);
-    let tin = Softfp.make_fmt ~ebits ~prec in
-    let cfg =
-      {
-        (Rlibm.Config.mini_for func) with
-        Rlibm.Config.tin;
-        pieces =
-          (match pieces with
-          | Some p -> p
-          | None -> (Rlibm.Config.mini_for func).Rlibm.Config.pieces);
-        table_bits;
-      }
+    if cache_stats then at_exit (fun () -> Cli.report_cache_stats true);
+    let cfg = cfg_for func ~ebits ~prec ~pieces ~table_bits in
+    let tin = cfg.Rlibm.Config.tin in
+    let log =
+      if verbose then fun s -> Printf.eprintf "%s\n%!" s else fun _ -> ()
     in
-    let log = if verbose then fun s -> Printf.eprintf "%s\n%!" s else fun _ -> () in
     Printf.printf "generating %s / %s for %d-bit inputs (%d finite values)\n%!"
       (Oracle.name func)
       (Polyeval.scheme_name scheme)
       (Softfp.width tin) (Softfp.count_finite tin);
-    match Genlibm.generate ~log ~cfg ~scheme func with
-    | Error msg ->
-        Printf.eprintf "generation failed: %s\n" msg;
-        exit 1
-    | Ok g ->
-        Printf.printf "%s\n"
-          (Format.asprintf "%a" Genlibm.pp_table1_row (Genlibm.table1_row g));
-        Array.iteri
-          (fun i (piece : Polyeval.compiled) ->
-            Printf.printf "piece %d (degree %d): cost %s\n" i
-              piece.Polyeval.degree
-              (Format.asprintf "%a" Expr.pp_cost (Polyeval.cost piece));
-            Array.iteri
-              (fun k c -> Printf.printf "  c%d = %h  (%.17g)\n" k c c)
-              piece.Polyeval.data)
-          g.Rlibm.Generate.pieces;
-        if verify then begin
-          let inputs = Genlibm.inputs_exhaustive tin in
-          let rep = Genlibm.verify g ~inputs in
+    let print_generated (g : Rlibm.Generate.generated) =
+      Printf.printf "%s\n"
+        (Format.asprintf "%a" Genlibm.pp_table1_row (Genlibm.table1_row g));
+      Array.iteri
+        (fun i (piece : Polyeval.compiled) ->
+          Printf.printf "piece %d (degree %d): cost %s\n" i
+            piece.Polyeval.degree
+            (Format.asprintf "%a" Expr.pp_cost (Polyeval.cost piece));
+          Array.iteri
+            (fun k c -> Printf.printf "  c%d = %h  (%.17g)\n" k c c)
+            piece.Polyeval.data)
+        g.Rlibm.Generate.pieces
+    in
+    if verify then begin
+      match Pipeline.verified ~log ~cfg ~scheme func with
+      | Error msg ->
+          Printf.eprintf "generation failed: %s\n" msg;
+          exit 1
+      | Ok (g, rep) ->
+          print_generated g;
           Printf.printf "verify: %s\n"
             (Format.asprintf "%a" Genlibm.pp_verify_report rep);
           if rep.Genlibm.wrong34 > 0 || rep.Genlibm.wrong_narrow > 0 then
             exit 1
-        end
+    end
+    else begin
+      match Pipeline.generate ~log ~cfg ~scheme func with
+      | Error msg ->
+          Printf.eprintf "generation failed: %s\n" msg;
+          exit 1
+      | Ok g -> print_generated g
+    end
   in
-  let func =
-    Arg.(required & opt (some func_arg) None & info [ "func"; "f" ] ~doc:"Function: exp, exp2, exp10, log, log2, log10.")
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ] ~doc:"Exhaustively verify the generated function.")
   in
-  let scheme =
-    Arg.(value & opt scheme_arg Polyeval.EstrinFma & info [ "scheme"; "s" ] ~doc:"Evaluation scheme: horner, horner-fma, knuth, estrin, estrin-fma.")
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ] ~doc:"Log the generation loop and stage status.")
   in
-  let ebits = Arg.(value & opt int 5 & info [ "ebits" ] ~doc:"Exponent bits of the input format.") in
-  let prec = Arg.(value & opt int 8 & info [ "prec" ] ~doc:"Precision (significand bits incl. hidden) of the input format.") in
-  let pieces = Arg.(value & opt (some int) None & info [ "pieces" ] ~doc:"Sub-domains of the reduced domain.") in
-  let table_bits = Arg.(value & opt int 4 & info [ "table-bits" ] ~doc:"Log-family reduction table bits.") in
-  let verify = Arg.(value & flag & info [ "verify" ] ~doc:"Exhaustively verify the generated function.") in
-  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log the generation loop.") in
   Cmd.v
-    (Cmd.info "generate" ~doc:"Generate a correctly rounded elementary function")
-    Term.(const run $ func $ scheme $ ebits $ prec $ pieces $ table_bits $ verify $ verbose $ jobs_arg $ cache_dir_arg $ cache_stats_arg)
+    (Cmd.info "generate"
+       ~doc:
+         "Generate a correctly rounded elementary function through the \
+          staged pipeline (resumes from the last completed persisted stage)")
+    Term.(
+      const run $ Cli.func_arg $ Cli.scheme_arg $ Cli.ebits_arg $ Cli.prec_arg
+      $ pieces_arg $ table_bits_arg $ verify $ verbose $ Cli.jobs_arg
+      $ Cli.cache_dir_arg $ Cli.cache_stats_arg)
+
+(* ---------- stages ---------- *)
+
+let stages_cmd =
+  let run func scheme ebits prec pieces table_bits verbose jobs cache_dir
+      cache_stats =
+    let func = require_func func in
+    Cli.set_jobs jobs;
+    Cli.set_cache_dir cache_dir;
+    let cfg = cfg_for func ~ebits ~prec ~pieces ~table_bits in
+    let log =
+      if verbose then fun s -> Printf.eprintf "%s\n%!" s else fun _ -> ()
+    in
+    Printf.printf "pipeline stages for %s / %s (%d-bit inputs):\n%!"
+      (Oracle.name func)
+      (Polyeval.scheme_name scheme)
+      (Softfp.width cfg.Rlibm.Config.tin);
+    let events, result = Pipeline.run_stages ~log ~cfg ~scheme func in
+    List.iter
+      (fun ev -> Printf.printf "  %s\n" (Format.asprintf "%a" Pipeline.pp_event ev))
+      events;
+    Cli.report_cache_stats cache_stats;
+    match result with
+    | Error msg ->
+        Printf.printf "polynomial stage failed: %s\n" msg;
+        exit 1
+    | Ok (_, rep) ->
+        Printf.printf "verdict: %s\n"
+          (Format.asprintf "%a" Genlibm.pp_verify_report rep);
+        if rep.Genlibm.wrong34 > 0 || rep.Genlibm.wrong_narrow > 0 then exit 1
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log stage execution.")
+  in
+  Cmd.v
+    (Cmd.info "stages"
+       ~doc:
+         "Run (or load) every pipeline stage for one function and scheme \
+          and print each stage's hit/rebuilt status and timing — the \
+          resume / invalidation report")
+    Term.(
+      const run $ Cli.func_arg $ Cli.scheme_arg $ Cli.ebits_arg $ Cli.prec_arg
+      $ pieces_arg $ table_bits_arg $ verbose $ Cli.jobs_arg
+      $ Cli.cache_dir_arg $ Cli.cache_stats_arg)
 
 (* ---------- warm ---------- *)
 
 let warm_cmd =
-  let run ebits prec jobs cache_dir cache_stats =
-    set_jobs jobs;
-    set_cache_dir cache_dir;
-    let tin = Softfp.make_fmt ~ebits ~prec in
-    let pairs =
-      List.map
-        (fun f -> (f, { (Rlibm.Config.mini_for f) with Rlibm.Config.tin }))
-        Oracle.all
+  let run func scheme_opt through ebits prec pieces table_bits jobs cache_dir
+      cache_stats =
+    Cli.set_jobs jobs;
+    Cli.set_cache_dir cache_dir;
+    let through =
+      match Pipeline.stage_of_name through with
+      | Some s -> s
+      | None ->
+          Printf.eprintf
+            "unknown stage %S (oracle, intervals, constraints, poly, verdict)\n"
+            through;
+          exit 2
     in
+    let funcs = match func with Some f -> [ f ] | None -> Oracle.all in
+    let schemes =
+      match scheme_opt with Some s -> [ s ] | None -> Polyeval.paper_schemes
+    in
+    let pairs =
+      List.map (fun f -> (f, cfg_for f ~ebits ~prec ~pieces ~table_bits)) funcs
+    in
+    let tin = Softfp.make_fmt ~ebits ~prec in
     Printf.printf
-      "warming oracle tables for %d functions over %d-bit inputs (%d finite \
-       values each, -j %d)\n%!"
+      "warming pipeline stages through %s for %d functions over %d-bit \
+       inputs (%d finite values each, -j %d)\n%!"
+      (Pipeline.stage_name through)
       (List.length pairs) (Softfp.width tin)
       (Softfp.count_finite tin) (Parallel.jobs ());
     let counts =
-      Genlibm.warm_oracle_cache
+      Pipeline.warm
         ~log:(fun s -> Printf.printf "  %s\n%!" s)
-        pairs
+        ~schemes ~through pairs
     in
-    Printf.printf "warmed %d oracle tables under %s\n" (List.length counts)
+    List.iter
+      (fun (f, n) -> Printf.printf "  %s: %d oracle entries\n%!" (Oracle.name f) n)
+      counts;
+    Printf.printf "warmed %d functions under %s\n" (List.length counts)
       (Cache.dir ());
-    report_cache_stats cache_stats
+    Cli.report_cache_stats cache_stats
   in
-  let ebits = Arg.(value & opt int 5 & info [ "ebits" ] ~doc:"Exponent bits of the input format.") in
-  let prec = Arg.(value & opt int 8 & info [ "prec" ] ~doc:"Precision (significand bits incl. hidden) of the input format.") in
+  let scheme_opt =
+    Arg.(
+      value
+      & opt (some Cli.scheme_conv) None
+      & info [ "scheme"; "s" ]
+          ~doc:"Warm only this scheme's polynomial/verdict stages (default: \
+                all paper schemes).")
+  in
+  let through =
+    Arg.(
+      value & opt string "verdict"
+      & info [ "through" ] ~docv:"STAGE"
+          ~doc:
+            "Deepest stage to pre-fill: oracle, intervals, constraints, \
+             poly or verdict.  Warming through a shallow stage and \
+             re-running generate later exercises the resume path.")
+  in
   Cmd.v
     (Cmd.info "warm"
        ~doc:
-         "Precompute and persist the oracle tables of every function for an \
-          input format, fanning the Ziv loops out across the domain pool, \
-          so later generate/verify/bench runs start disk-warm")
-    Term.(const run $ ebits $ prec $ jobs_arg $ cache_dir_arg $ cache_stats_arg)
+         "Pre-fill the persistent artifact store: run the staged pipeline \
+          through the requested stage for every function (or --func), so \
+          later generate/verify/bench runs start disk-warm")
+    Term.(
+      const run $ Cli.func_arg $ scheme_opt $ through $ Cli.ebits_arg
+      $ Cli.prec_arg $ pieces_arg $ table_bits_arg $ Cli.jobs_arg
+      $ Cli.cache_dir_arg $ Cli.cache_stats_arg)
 
 (* ---------- oracle ---------- *)
 
 let oracle_cmd =
   let run func x prec =
+    let func = require_func func in
     let q = Rat.of_string x in
     if not (Oracle.domain_ok func q) then begin
       Printf.eprintf "%s is outside the domain of %s\n" x (Oracle.name func);
@@ -213,12 +275,11 @@ let oracle_cmd =
         ("fp34", Softfp.fp34);
       ]
   in
-  let func = Arg.(required & opt (some func_arg) None & info [ "func"; "f" ] ~doc:"Function.") in
   let x = Arg.(required & opt (some string) None & info [ "x" ] ~doc:"Input: an integer, decimal, or p/q rational.") in
   let prec = Arg.(value & opt int 96 & info [ "prec" ] ~doc:"Enclosure precision in bits.") in
   Cmd.v
     (Cmd.info "oracle" ~doc:"Query the correctly rounded oracle")
-    Term.(const run $ func $ x $ prec)
+    Term.(const run $ Cli.func_arg $ x $ prec)
 
 (* ---------- cost ---------- *)
 
@@ -244,4 +305,8 @@ let cost_cmd =
 
 let () =
   let doc = "RLibm-style correctly rounded function generator with fast polynomial evaluation" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "rlibm_gen" ~doc) [ generate_cmd; oracle_cmd; cost_cmd; warm_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "rlibm_gen" ~doc)
+          [ generate_cmd; stages_cmd; warm_cmd; oracle_cmd; cost_cmd ]))

@@ -65,6 +65,40 @@ let c_bytes_written = Atomic.make 0
 (* Per-process unique suffix source for temp and quarantine names. *)
 let name_counter = Atomic.make 0
 
+(* Per-kind counters: one mutable record per artifact kind, guarded by a
+   mutex (loads normally run on the driver domain, but nothing stops a
+   worker from touching the store). *)
+type kind_counters = {
+  mutable k_hits : int;
+  mutable k_misses : int;
+  mutable k_corrupt : int;
+  mutable k_bytes_read : int;
+  mutable k_bytes_written : int;
+}
+
+let kind_mutex = Mutex.create ()
+let kind_table : (string, kind_counters) Hashtbl.t = Hashtbl.create 8
+
+let with_kind kind f =
+  Mutex.protect kind_mutex (fun () ->
+      let c =
+        match Hashtbl.find_opt kind_table kind with
+        | Some c -> c
+        | None ->
+            let c =
+              {
+                k_hits = 0;
+                k_misses = 0;
+                k_corrupt = 0;
+                k_bytes_read = 0;
+                k_bytes_written = 0;
+              }
+            in
+            Hashtbl.replace kind_table kind c;
+            c
+      in
+      f c)
+
 let stats () =
   {
     hits = Atomic.get c_hits;
@@ -74,16 +108,45 @@ let stats () =
     bytes_written = Atomic.get c_bytes_written;
   }
 
+let stats_by_kind () =
+  Mutex.protect kind_mutex (fun () ->
+      Hashtbl.fold
+        (fun kind c acc ->
+          ( kind,
+            {
+              hits = c.k_hits;
+              misses = c.k_misses;
+              corrupt_rejected = c.k_corrupt;
+              bytes_read = c.k_bytes_read;
+              bytes_written = c.k_bytes_written;
+            } )
+          :: acc)
+        kind_table []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
 let reset_stats () =
   List.iter
     (fun c -> Atomic.set c 0)
-    [ c_hits; c_misses; c_corrupt; c_bytes_read; c_bytes_written ]
+    [ c_hits; c_misses; c_corrupt; c_bytes_read; c_bytes_written ];
+  Mutex.protect kind_mutex (fun () -> Hashtbl.reset kind_table)
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "oracle cache [%s]: %d hits, %d misses, %d corrupt-rejected, %d bytes \
+    "artifact cache [%s]: %d hits, %d misses, %d corrupt-rejected, %d bytes \
      read, %d bytes written"
     (dir ()) s.hits s.misses s.corrupt_rejected s.bytes_read s.bytes_written
+
+let pp_stats_by_kind fmt kinds =
+  List.iter
+    (fun (kind, s) ->
+      Format.fprintf fmt "@\n  %-12s %d hits, %d misses, %d corrupt-rejected, \
+                          %d bytes read, %d bytes written"
+        kind s.hits s.misses s.corrupt_rejected s.bytes_read s.bytes_written)
+    kinds
+
+let pp_report fmt () =
+  pp_stats fmt (stats ());
+  pp_stats_by_kind fmt (stats_by_kind ())
 
 (* ---------- CRC-32 (IEEE 802.3, the zlib polynomial) ---------- *)
 
@@ -182,7 +245,7 @@ let quarantine path =
 
 (* ---------- store / load ---------- *)
 
-let store ~key v =
+let store ~kind ~key v =
   if enabled () then
     try
       mkdir_p (dir ());
@@ -204,7 +267,9 @@ let store ~key v =
             with
             | () ->
                 Sys.rename tmp path;
-                ignore (Atomic.fetch_and_add c_bytes_written (String.length data))
+                ignore (Atomic.fetch_and_add c_bytes_written (String.length data));
+                with_kind kind (fun c ->
+                    c.k_bytes_written <- c.k_bytes_written + String.length data)
             | exception e ->
                 close_out_noerr oc;
                 (try Sys.remove tmp with Sys_error _ -> ());
@@ -214,21 +279,26 @@ let store ~key v =
       attempt 3
     with _ -> () (* persistence is best-effort; the caller can regenerate *)
 
-let load ~key =
+let load ~kind ~key =
   if not (enabled ()) then None
   else
     let path = path_of_key key in
     match read_file path with
     | exception Sys_error _ ->
         ignore (Atomic.fetch_and_add c_misses 1);
+        with_kind kind (fun c -> c.k_misses <- c.k_misses + 1);
         None
     | data -> (
         match decode ~key data with
         | Ok v ->
             ignore (Atomic.fetch_and_add c_hits 1);
             ignore (Atomic.fetch_and_add c_bytes_read (String.length data));
+            with_kind kind (fun c ->
+                c.k_hits <- c.k_hits + 1;
+                c.k_bytes_read <- c.k_bytes_read + String.length data);
             Some v
         | Error _reason ->
             quarantine path;
             ignore (Atomic.fetch_and_add c_corrupt 1);
+            with_kind kind (fun c -> c.k_corrupt <- c.k_corrupt + 1);
             None)

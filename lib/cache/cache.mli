@@ -58,18 +58,24 @@ val enabled : unit -> bool
     to inspect or corrupt entries deliberately. *)
 val path_of_key : string -> string
 
-(** {1 Store and load} *)
+(** {1 Store and load}
 
-(** [store ~key v] marshals [v] and atomically publishes it under [key].
-    Best-effort: I/O failures (read-only directory, disk full) leave the
-    previous entry, if any, intact and are not fatal. *)
-val store : key:string -> 'a -> unit
+    Every entry belongs to an artifact {e kind} — a short label
+    ("oracle", "intervals", "poly", …) that buckets the observability
+    counters so [--cache-stats] can show {e where} time is saved, not
+    just that it was.  The kind is reporting metadata only: it does not
+    participate in the key or the on-disk layout. *)
 
-(** [load ~key] returns the stored value, or [None] when the entry is
-    absent (a miss) or fails validation (counted as corrupt-rejected and
-    quarantined aside).  The unsafe ['a] is inherent to [Marshal]; see
-    the module comment for the key discipline that makes it sound. *)
-val load : key:string -> 'a option
+(** [store ~kind ~key v] marshals [v] and atomically publishes it under
+    [key].  Best-effort: I/O failures (read-only directory, disk full)
+    leave the previous entry, if any, intact and are not fatal. *)
+val store : kind:string -> key:string -> 'a -> unit
+
+(** [load ~kind ~key] returns the stored value, or [None] when the entry
+    is absent (a miss) or fails validation (counted as corrupt-rejected
+    and quarantined aside).  The unsafe ['a] is inherent to [Marshal];
+    see the module comment for the key discipline that makes it sound. *)
+val load : kind:string -> key:string -> 'a option
 
 (** {1 Observability} *)
 
@@ -86,7 +92,19 @@ type stats = {
 (** Snapshot of the process-wide counters (domain-safe). *)
 val stats : unit -> stats
 
+(** Per-kind counter snapshots, sorted by kind name; kinds that were
+    never touched since the last {!reset_stats} are absent. *)
+val stats_by_kind : unit -> (string * stats) list
+
 val reset_stats : unit -> unit
 
 (** One-line human-readable counter report, e.g. for [--cache-stats]. *)
 val pp_stats : Format.formatter -> stats -> unit
+
+(** Indented per-kind breakdown lines (one per kind, led by a newline),
+    meant to follow {!pp_stats}. *)
+val pp_stats_by_kind : Format.formatter -> (string * stats) list -> unit
+
+(** Global line plus the per-kind breakdown — the full [--cache-stats]
+    report. *)
+val pp_report : Format.formatter -> unit -> unit

@@ -1,0 +1,96 @@
+open Cmdliner
+
+let func_conv =
+  let parse s =
+    match Oracle.of_name s with
+    | Some f -> Ok f
+    | None -> Error (`Msg (Printf.sprintf "unknown function %S" s))
+  in
+  let print fmt f = Format.pp_print_string fmt (Oracle.name f) in
+  Arg.conv (parse, print)
+
+let scheme_conv =
+  let parse s =
+    match Polyeval.scheme_of_name s with
+    | Some x -> Ok x
+    | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  let print fmt s = Format.pp_print_string fmt (Polyeval.scheme_name s) in
+  Arg.conv (parse, print)
+
+let func_arg =
+  Arg.(
+    value
+    & opt (some func_conv) None
+    & info [ "func"; "f" ]
+        ~doc:"Function: exp, exp2, exp10, log, log2, log10.")
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt scheme_conv Polyeval.EstrinFma
+    & info [ "scheme"; "s" ]
+        ~doc:"Evaluation scheme: horner, horner-fma, knuth, estrin, \
+              estrin-fma.")
+
+let ebits_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "ebits" ] ~doc:"Exponent bits of the input format.")
+
+let prec_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "prec" ]
+        ~doc:"Precision (significand bits incl. hidden) of the input format.")
+
+let jobs_arg =
+  let doc =
+    "Fan the oracle construction, generation loop and verification out over \
+     $(docv) domains (deterministic: the output is bit-identical for every \
+     value).  Defaults to the machine's core count; 1 takes the exact \
+     sequential code path."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Directory of the persistent artifact store (overrides \
+     $(b,RLIBM_CACHE_DIR); default ./.oracle-cache).  Set \
+     $(b,RLIBM_NO_DISK_CACHE=1) to disable persistence entirely."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let cache_stats_arg =
+  let doc =
+    "After the run, print the artifact store counters (hits, misses, \
+     corrupt-rejected, bytes read/written — global and per artifact kind) \
+     to stderr.  A nonzero corrupt-rejected count means entries failed \
+     header or checksum validation, were quarantined aside as *.corrupt-*, \
+     and were regenerated from scratch."
+  in
+  Arg.(value & flag & info [ "cache-stats" ] ~doc)
+
+let set_jobs jobs =
+  Parallel.set_jobs
+    (match jobs with Some j -> j | None -> Parallel.default_jobs ())
+
+let set_cache_dir = function Some d -> Cache.set_dir d | None -> ()
+
+let report_cache_stats enabled =
+  if enabled then Format.eprintf "%a@." Cache.pp_report ()
+
+let rec opt_value names = function
+  | [] | [ _ ] -> None
+  | a :: v :: rest ->
+      if List.mem a names then Some v else opt_value names (v :: rest)
+
+let parse_jobs args =
+  match opt_value [ "-j"; "--jobs" ] args with
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some j when j >= 1 -> j
+      | _ ->
+          Printf.eprintf "bad -j value %S\n" v;
+          exit 2)
+  | None -> Parallel.default_jobs ()

@@ -1,0 +1,60 @@
+(** Command-line plumbing shared by [bin/rlibm_gen] and [bench/main]:
+    the function / scheme / format converters, the [-j N] fan-out knob
+    and the persistent-store knobs, defined once so the two entry points
+    cannot drift apart. *)
+
+(** {1 Cmdliner converters and terms} *)
+
+val func_conv : Oracle.func Cmdliner.Arg.conv
+(** Parses [exp], [exp2], [exp10], [log], [log2], [log10]. *)
+
+val scheme_conv : Polyeval.scheme Cmdliner.Arg.conv
+(** Parses [horner], [horner-fma], [knuth], [estrin], [estrin-fma]. *)
+
+val func_arg : Oracle.func option Cmdliner.Term.t
+(** [--func]/[-f], optional (commands that require it check themselves;
+    commands like [warm] treat absence as "every function"). *)
+
+val scheme_arg : Polyeval.scheme Cmdliner.Term.t
+(** [--scheme]/[-s], default {!Polyeval.EstrinFma}. *)
+
+val ebits_arg : int Cmdliner.Term.t
+(** [--ebits], default 5 (the reduced-width universe). *)
+
+val prec_arg : int Cmdliner.Term.t
+(** [--prec], default 8. *)
+
+val jobs_arg : int option Cmdliner.Term.t
+(** [-j]/[--jobs]; [None] means the machine's core count. *)
+
+val cache_dir_arg : string option Cmdliner.Term.t
+(** [--cache-dir DIR]; overrides [RLIBM_CACHE_DIR]. *)
+
+val cache_stats_arg : bool Cmdliner.Term.t
+(** [--cache-stats]: report store counters on stderr after the run. *)
+
+(** {1 Effects} *)
+
+val set_jobs : int option -> unit
+(** Size the {!Parallel} pool ([None] = all cores). *)
+
+val set_cache_dir : string option -> unit
+(** Point {!Cache} at a directory ([None] = leave as configured). *)
+
+val report_cache_stats : bool -> unit
+(** When [true], print the global counters and the per-artifact-kind
+    breakdown ({!Cache.pp_report}) to stderr. *)
+
+(** {1 Bare-argv helpers}
+
+    For [bench/main], which dispatches on raw [Sys.argv] flags rather
+    than cmdliner. *)
+
+val opt_value : string list -> string list -> string option
+(** [opt_value names args]: the value following the first element of
+    [args] that is listed in [names] (e.g.
+    [opt_value ["-j"; "--jobs"] args]). *)
+
+val parse_jobs : string list -> int
+(** The [-j]/[--jobs] value of an argv list, defaulting to
+    {!Parallel.default_jobs}; exits with code 2 on a malformed value. *)

@@ -1,0 +1,270 @@
+(* Staged artifact pipeline.  See pipeline.mli for the contract.
+
+   Design notes:
+
+   - Stage payloads are closure-free data (hash tables, float/int64
+     arrays, Generate.solved) so Marshal round-trips are sound; the
+     runnable closures (Reduction.t, Polyeval.compiled) are rebuilt
+     deterministically by Generate.assemble.
+   - Each stage function recursively obtains its upstream artifact
+     *inside* its compute closure, so a warm deep stage never touches
+     the stages above it.
+   - Everything here runs on the driver domain (the bodies fan out
+     through Parallel internally), so the event log is a plain ref. *)
+
+type stage = Oracle | Intervals | Constraints | Poly | Verdict
+
+let all_stages = [ Oracle; Intervals; Constraints; Poly; Verdict ]
+
+let stage_name = function
+  | Oracle -> "oracle"
+  | Intervals -> "intervals"
+  | Constraints -> "constraints"
+  | Poly -> "poly"
+  | Verdict -> "verdict"
+
+let stage_of_name = function
+  | "oracle" -> Some Oracle
+  | "intervals" -> Some Intervals
+  | "constraints" -> Some Constraints
+  | "poly" -> Some Poly
+  | "verdict" -> Some Verdict
+  | _ -> None
+
+let rank = function
+  | Oracle -> 1
+  | Intervals -> 2
+  | Constraints -> 3
+  | Poly -> 4
+  | Verdict -> 5
+
+(* ---------- stage keys ----------
+
+   Layout versions of the marshalled stage payloads.  Each key embeds
+   its own version and the versions of every upstream stage it was
+   derived from, so bumping one constant orphans exactly that stage and
+   everything below it (the invalidation graph of DESIGN.md).  The
+   oracle stage reuses Constraints.oracle_cache_key so tables warmed by
+   earlier revisions stay valid. *)
+let v_intervals = 1
+let v_constraints = 1
+let v_poly = 1
+let v_verdict = 1
+
+let base ~(cfg : Rlibm.Config.t) func =
+  let tin = cfg.Rlibm.Config.tin and tout = Rlibm.Config.tout cfg in
+  Printf.sprintf "%s-in%d.%d-out%d.%d" (Oracle.name func) tin.Softfp.ebits
+    tin.Softfp.prec tout.Softfp.ebits tout.Softfp.prec
+
+let oracle_key ~(cfg : Rlibm.Config.t) func =
+  Rlibm.Constraints.oracle_cache_key ~func ~tin:cfg.Rlibm.Config.tin
+    ~tout:(Rlibm.Config.tout cfg)
+
+let intervals_key ~cfg func =
+  Printf.sprintf "%s-ivl-v%d" (base ~cfg func) v_intervals
+
+let constraints_key ~(cfg : Rlibm.Config.t) func =
+  Printf.sprintf "%s-p%d-tb%d-cns-v%d.%d" (base ~cfg func)
+    cfg.Rlibm.Config.pieces cfg.Rlibm.Config.table_bits v_constraints
+    v_intervals
+
+let poly_key ~(cfg : Rlibm.Config.t) ~scheme func =
+  Printf.sprintf "%s-p%d-tb%d-%s-d%d.%d-r%d-sp%d-ply-v%d.%d.%d"
+    (base ~cfg func) cfg.Rlibm.Config.pieces cfg.Rlibm.Config.table_bits
+    (Polyeval.scheme_name scheme) cfg.Rlibm.Config.min_degree
+    cfg.Rlibm.Config.max_degree cfg.Rlibm.Config.max_rounds
+    cfg.Rlibm.Config.max_specials v_poly v_constraints v_intervals
+
+let verdict_key ?(narrow = true) ~cfg ~scheme func =
+  Printf.sprintf "%s-nw%d-vrd-v%d" (poly_key ~cfg ~scheme func)
+    (if narrow then 1 else 0)
+    v_verdict
+
+(* ---------- events ---------- *)
+
+type status = Hit | Rebuilt
+
+type event = {
+  ev_stage : stage;
+  ev_key : string;
+  ev_status : status;
+  ev_seconds : float;
+}
+
+let events_rev = ref []
+let events () = List.rev !events_rev
+let reset_events () = events_rev := []
+
+let record ?log stage key status seconds =
+  let ev = { ev_stage = stage; ev_key = key; ev_status = status; ev_seconds = seconds } in
+  events_rev := ev :: !events_rev;
+  match log with
+  | Some f ->
+      f
+        (Printf.sprintf "stage %-11s %-7s %7.3fs  %s" (stage_name stage)
+           (match status with Hit -> "hit" | Rebuilt -> "rebuilt")
+           seconds key)
+  | None -> ()
+
+let pp_event fmt ev =
+  Format.fprintf fmt "%-11s  %-7s  %8.3fs  %s" (stage_name ev.ev_stage)
+    (match ev.ev_status with Hit -> "hit" | Rebuilt -> "rebuilt")
+    ev.ev_seconds ev.ev_key
+
+(* Load-or-compute-and-publish, with the event bookkeeping. *)
+let staged ?log ~stage ~key compute =
+  let kind = stage_name stage in
+  let t0 = Unix.gettimeofday () in
+  match Cache.load ~kind ~key with
+  | Some v ->
+      record ?log stage key Hit (Unix.gettimeofday () -. t0);
+      v
+  | None ->
+      let v = compute () in
+      Cache.store ~kind ~key v;
+      record ?log stage key Rebuilt (Unix.gettimeofday () -. t0);
+      v
+
+(* ---------- shared per-config plumbing ---------- *)
+
+let family_of ~(cfg : Rlibm.Config.t) func =
+  Rlibm.Reduction.make func ~out_fmt:(Rlibm.Config.tout cfg)
+    ~pieces:cfg.Rlibm.Config.pieces ~table_bits:cfg.Rlibm.Config.table_bits
+
+let inputs_of (cfg : Rlibm.Config.t) =
+  Genlibm.inputs_exhaustive cfg.Rlibm.Config.tin
+
+(* ---------- stage 1: oracle table ---------- *)
+
+(* The oracle stage is incremental rather than load-or-compute: the
+   shared table may be partially filled (by earlier configs of the same
+   formats), and completeness — not mere presence — is what "hit"
+   means.  The scan is cheap (hash lookups); the Ziv loops are not. *)
+let oracle_stage ?log ~(cfg : Rlibm.Config.t) func =
+  let tin = cfg.Rlibm.Config.tin and tout = Rlibm.Config.tout cfg in
+  let key = oracle_key ~cfg func in
+  let t0 = Unix.gettimeofday () in
+  let oracle = Rlibm.Constraints.oracle_table ~func ~tin ~tout in
+  let computed =
+    Rlibm.Constraints.ensure_oracle ~cfg ~family:(family_of ~cfg func)
+      ~inputs:(inputs_of cfg) ~oracle
+  in
+  if computed > 0 then Rlibm.Constraints.persist_oracle_table ~func ~tin ~tout;
+  record ?log Oracle key
+    (if computed = 0 then Hit else Rebuilt)
+    (Unix.gettimeofday () -. t0);
+  oracle
+
+(* ---------- stage 2: rounding intervals ---------- *)
+
+let intervals_stage ?log ~cfg func =
+  staged ?log ~stage:Intervals ~key:(intervals_key ~cfg func) (fun () ->
+      let oracle = oracle_stage ?log ~cfg func in
+      Rlibm.Constraints.rounding_intervals ~cfg ~family:(family_of ~cfg func)
+        ~inputs:(inputs_of cfg) ~oracle)
+
+(* ---------- stage 3: reduced, merged constraints ---------- *)
+
+(* Persisted payload: the per-piece points and the immediate specials.
+   The oracle table is stage 1's artifact, re-attached on the way out. *)
+let constraints_stage ?log ~(cfg : Rlibm.Config.t) func =
+  let points, immediate_specials =
+    staged ?log ~stage:Constraints ~key:(constraints_key ~cfg func) (fun () ->
+        let rivals = intervals_stage ?log ~cfg func in
+        Rlibm.Constraints.combine ~cfg ~family:(family_of ~cfg func) ~rivals)
+  in
+  let oracle =
+    Rlibm.Constraints.oracle_table ~func ~tin:cfg.Rlibm.Config.tin
+      ~tout:(Rlibm.Config.tout cfg)
+  in
+  { Rlibm.Constraints.points; immediate_specials; oracle }
+
+(* ---------- stage 4: LP polynomial per scheme ---------- *)
+
+let solved_stage ?log ~cfg ~scheme func =
+  (staged ?log ~stage:Poly ~key:(poly_key ~cfg ~scheme func) (fun () ->
+       let built = constraints_stage ?log ~cfg func in
+       Rlibm.Generate.solve ?log ~cfg ~scheme ~func ~built ())
+    : (Rlibm.Generate.solved, string) result)
+
+let generate ?log ~cfg ~scheme func =
+  match solved_stage ?log ~cfg ~scheme func with
+  | Error _ as e -> e
+  | Ok sv ->
+      let oracle =
+        Rlibm.Constraints.oracle_table ~func ~tin:cfg.Rlibm.Config.tin
+          ~tout:(Rlibm.Config.tout cfg)
+      in
+      Ok (Rlibm.Generate.assemble ~cfg ~scheme ~func ~oracle sv)
+
+(* ---------- stage 5: verified function ---------- *)
+
+let verified ?log ?(narrow = true) ~cfg ~scheme func =
+  match generate ?log ~cfg ~scheme func with
+  | Error _ as e -> e
+  | Ok g ->
+      let report =
+        (staged ?log ~stage:Verdict
+           ~key:(verdict_key ~narrow ~cfg ~scheme func) (fun () ->
+             Genlibm.verify ~narrow g ~inputs:(inputs_of cfg))
+          : Genlibm.verify_report)
+      in
+      Ok (g, report)
+
+(* ---------- drivers ---------- *)
+
+(* One explicit pass over every stage, keeping the first event each
+   stage emitted during its own step (deeper steps may re-emit upstream
+   hits; those duplicates are dropped). *)
+let run_stages ?log ?(narrow = true) ~cfg ~scheme func =
+  let mark = List.length !events_rev in
+  ignore (oracle_stage ?log ~cfg func : (int64, int64) Hashtbl.t);
+  ignore
+    (intervals_stage ?log ~cfg func
+      : Rlibm.Constraints.rounding_interval array);
+  ignore (constraints_stage ?log ~cfg func : Rlibm.Constraints.build_result);
+  let result = verified ?log ~narrow ~cfg ~scheme func in
+  let fresh =
+    List.filteri (fun i _ -> i >= mark) (List.rev !events_rev)
+  in
+  let per_stage =
+    List.filter_map
+      (fun stage -> List.find_opt (fun ev -> ev.ev_stage = stage) fresh)
+      all_stages
+  in
+  (per_stage, result)
+
+let warm ?log ?(schemes = Polyeval.paper_schemes) ?(through = Verdict) pairs =
+  let depth = rank through in
+  List.map
+    (fun (func, cfg) ->
+      let oracle = oracle_stage ?log ~cfg func in
+      if depth >= rank Intervals then
+        ignore
+          (intervals_stage ?log ~cfg func
+            : Rlibm.Constraints.rounding_interval array);
+      if depth >= rank Constraints then
+        ignore
+          (constraints_stage ?log ~cfg func : Rlibm.Constraints.build_result);
+      if depth >= rank Poly then
+        List.iter
+          (fun scheme ->
+            let outcome =
+              if depth >= rank Verdict then
+                Result.map ignore (verified ?log ~cfg ~scheme func)
+              else Result.map ignore (generate ?log ~cfg ~scheme func)
+            in
+            match outcome with
+            | Ok () -> ()
+            | Error msg -> (
+                match log with
+                | Some f ->
+                    f
+                      (Printf.sprintf "%s/%s: generation failed: %s"
+                         (Oracle.name func)
+                         (Polyeval.scheme_name scheme)
+                         msg)
+                | None -> ()))
+          schemes;
+      (func, Hashtbl.length oracle))
+    pairs

@@ -1,0 +1,168 @@
+(** Staged artifact pipeline: every generation stage is a first-class,
+    cacheable, resumable artifact.
+
+    Generation factors into five stages,
+
+    {v
+    oracle table -> rounding intervals -> reduced constraints
+                 -> LP polynomial (per scheme) -> verified function
+    v}
+
+    each persisted through the hardened {!Cache} store under a
+    content-derived key covering exactly the knobs the stage depends on
+    (function, both formats, pieces / table bits, scheme, degree and
+    budget bounds, chained stage versions).  Re-running after an
+    interrupted or partial generation resumes from the last completed
+    stage bit-identically; changing any upstream knob invalidates
+    exactly the downstream stages:
+
+    {v
+    knob                         invalidates from
+    tin / extra_bits (formats)   oracle
+    pieces, table_bits           constraints
+    scheme, degree/round/special polynomial
+    narrow                       verdict
+    v}
+
+    The stage bodies are the pure functions in {!Rlibm.Constraints}
+    ([ensure_oracle] / [rounding_intervals] / [combine]),
+    {!Rlibm.Generate} ([solve] / [assemble]) and {!Genlibm} ([verify]);
+    this module only sequences, persists and reports them.  Parallel
+    fan-out stays on {!Parallel} inside the bodies and every random walk
+    is seeded deterministically, so artifacts are bit-identical at every
+    [-j] — a cold run, a warm run and a resumed run all produce the same
+    coefficients, special tables and verdicts.
+
+    The pipeline covers exhaustive-universe configurations (the input
+    set is every finite pattern of [cfg.tin]); the sampled binary32 path
+    stays on {!Genlibm.generate_sampled}.  Set [RLIBM_NO_DISK_CACHE] to
+    degrade every stage to compute-always (the exact unstaged path). *)
+
+type stage = Oracle | Intervals | Constraints | Poly | Verdict
+
+val all_stages : stage list
+(** In pipeline order. *)
+
+val stage_name : stage -> string
+(** ["oracle"], ["intervals"], ["constraints"], ["poly"], ["verdict"] —
+    also the {!Cache} kind each stage's artifacts are accounted to. *)
+
+val stage_of_name : string -> stage option
+
+(** {1 Stage keys}
+
+    Exposed for tests and tooling (pair with {!Cache.path_of_key}).
+    Each key covers the full set of knobs its stage depends on, plus its
+    own and all upstream stage-layout versions, so a bump anywhere
+    upstream orphans exactly the downstream entries. *)
+
+val oracle_key : cfg:Rlibm.Config.t -> Oracle.func -> string
+val intervals_key : cfg:Rlibm.Config.t -> Oracle.func -> string
+val constraints_key : cfg:Rlibm.Config.t -> Oracle.func -> string
+
+val poly_key :
+  cfg:Rlibm.Config.t -> scheme:Polyeval.scheme -> Oracle.func -> string
+
+val verdict_key :
+  ?narrow:bool ->
+  cfg:Rlibm.Config.t ->
+  scheme:Polyeval.scheme ->
+  Oracle.func ->
+  string
+
+(** {1 Observability} *)
+
+type status = Hit | Rebuilt
+
+type event = {
+  ev_stage : stage;
+  ev_key : string;
+  ev_status : status;
+  ev_seconds : float;  (** load / compute+publish wall time *)
+}
+
+val events : unit -> event list
+(** Every stage execution of this process so far, in execution order. *)
+
+val reset_events : unit -> unit
+val pp_event : Format.formatter -> event -> unit
+
+(** {1 Stages}
+
+    Each function returns its stage's artifact, recursively running (or
+    loading) the upstream stages it needs.  A warm store satisfies the
+    deepest stage directly — upstream stages are then never touched,
+    which is what makes a warm [generate] perform zero oracle
+    evaluations and zero LP solves. *)
+
+val oracle_stage :
+  ?log:(string -> unit) ->
+  cfg:Rlibm.Config.t ->
+  Oracle.func ->
+  (int64, int64) Hashtbl.t
+(** Stage 1: the shared oracle table, complete for every finite
+    non-shortcut input of [cfg.tin].  [Hit] when the (memoized or
+    loaded) table already covered them; otherwise the missing Ziv loops
+    fan out and the table is republished. *)
+
+val intervals_stage :
+  ?log:(string -> unit) ->
+  cfg:Rlibm.Config.t ->
+  Oracle.func ->
+  Rlibm.Constraints.rounding_interval array
+(** Stage 2: CalcRndIntervals over the oracle table. *)
+
+val constraints_stage :
+  ?log:(string -> unit) ->
+  cfg:Rlibm.Config.t ->
+  Oracle.func ->
+  Rlibm.Constraints.build_result
+(** Stage 3: reduced, merged constraints (pull-back + CalculatePhi).
+    The returned record shares the stage-1 oracle table. *)
+
+val generate :
+  ?log:(string -> unit) ->
+  cfg:Rlibm.Config.t ->
+  scheme:Polyeval.scheme ->
+  Oracle.func ->
+  (Rlibm.Generate.generated, string) result
+(** Stage 4: the LP polynomial for one scheme, assembled into a runnable
+    implementation.  Persists {!Rlibm.Generate.solved} (including
+    [Error] outcomes — generation is deterministic, so a failure is a
+    property of the knobs, not of the run). *)
+
+val verified :
+  ?log:(string -> unit) ->
+  ?narrow:bool ->
+  cfg:Rlibm.Config.t ->
+  scheme:Polyeval.scheme ->
+  Oracle.func ->
+  (Rlibm.Generate.generated * Genlibm.verify_report, string) result
+(** Stage 5: exhaustive verification verdict for the generated
+    function. *)
+
+(** {1 Drivers} *)
+
+val run_stages :
+  ?log:(string -> unit) ->
+  ?narrow:bool ->
+  cfg:Rlibm.Config.t ->
+  scheme:Polyeval.scheme ->
+  Oracle.func ->
+  event list * (Rlibm.Generate.generated * Genlibm.verify_report, string) result
+(** Run every stage explicitly in pipeline order (cheap when warm) and
+    return one event per executed stage — the [rlibm_gen stages]
+    report.  When the polynomial stage fails, the verdict stage is
+    skipped and the event list has four entries. *)
+
+val warm :
+  ?log:(string -> unit) ->
+  ?schemes:Polyeval.scheme list ->
+  ?through:stage ->
+  (Oracle.func * Rlibm.Config.t) list ->
+  (Oracle.func * int) list
+(** Pre-fill the store: for each [(func, cfg)] run the pipeline through
+    [through] (default {!Verdict}; the polynomial and verdict stages run
+    once per scheme in [schemes], default {!Polyeval.paper_schemes}).
+    Returns each function's oracle-table entry count.  Generation
+    failures are logged and skipped — warming is best-effort. *)

@@ -387,6 +387,30 @@ let compile scheme coeffs =
                 eval = eval_knuth ~degree alphas;
               })
 
+(* Rebuild a compiled evaluator from a previously compiled [data] array
+   (e.g. one loaded from the persistent artifact store).  For the dense
+   schemes this is just [compile]; for Knuth the array already holds the
+   *adapted* constants, so re-running the adaptation would be wrong — the
+   evaluator is rebuilt around the constants directly, bit-identical to
+   the original compilation. *)
+let of_data scheme data =
+  match scheme with
+  | Horner | HornerFma | Estrin | EstrinFma -> compile scheme data
+  | Knuth ->
+      let degree = Array.length data - 1 in
+      if degree < 4 || degree > 6 || not (Array.for_all Float.is_finite data)
+      then None
+      else
+        let data = Array.copy data in
+        Some
+          {
+            scheme;
+            degree;
+            data;
+            expr = knuth_expr degree;
+            eval = eval_knuth ~degree data;
+          }
+
 let cost c = Expr.cost c.expr
 
 let eval_exact c x = Expr.eval_rat c.expr ~data:c.data x

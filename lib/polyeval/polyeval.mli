@@ -37,6 +37,16 @@ type compiled = {
     cheap already) and requires the adapted coefficients to be finite. *)
 val compile : scheme -> float array -> compiled option
 
+(** [of_data scheme data] rebuilds a compiled evaluator from the [data]
+    array of a previous compilation (e.g. loaded back from the persistent
+    artifact store).  Unlike {!compile}, [data] holds the scheme's
+    {e compiled} constants: for Knuth these are the already-adapted
+    coefficients, which are installed directly instead of re-running the
+    adaptation.  The rebuilt evaluator is bit-identical to the original.
+    [None] when the data cannot belong to a valid compilation of the
+    scheme (Knuth outside degrees 4–6, non-finite constants). *)
+val of_data : scheme -> float array -> compiled option
+
 val cost : compiled -> Expr.cost
 
 (** {1 Direct evaluators} *)

@@ -82,7 +82,9 @@ let oracle_table ~func ~(tin : Softfp.fmt) ~(tout : Softfp.fmt) =
   | Some t -> t
   | None ->
       let t =
-        match (Cache.load ~key : (int64, int64) Hashtbl.t option) with
+        match
+          (Cache.load ~kind:"oracle" ~key : (int64, int64) Hashtbl.t option)
+        with
         | Some t -> t
         | None -> Hashtbl.create 4096
       in
@@ -92,63 +94,128 @@ let oracle_table ~func ~(tin : Softfp.fmt) ~(tout : Softfp.fmt) =
 let persist_oracle_table ~func ~(tin : Softfp.fmt) ~(tout : Softfp.fmt) =
   let key = oracle_cache_key ~func ~tin ~tout in
   match Hashtbl.find_opt oracle_cache key with
-  | Some t -> Cache.store ~key t
+  | Some t -> Cache.store ~kind:"oracle" ~key t
   | None -> ()
 
-(* Per-input outcome of the parallel phase of [build]. *)
-type prepared =
-  | P_skip  (* non-finite input or analytic fast path *)
-  | P_special of int64  (* oracle bits; constraint not expressible *)
-  | P_point of { y : int64; piece : int; r : float; lo : float; hi : float }
+(* ---------- stage bodies ----------
 
-let build ~(cfg : Config.t) ~(family : Reduction.t) ~(inputs : int64 array) =
+   [build] used to fuse three conceptually distinct computations: the
+   Ziv-loop oracle evaluations, the rounding-interval construction, and
+   the pull-back/CalculatePhi merge.  They are now separate pure bodies
+   so the staged artifact pipeline (lib/pipeline) can persist and resume
+   each one independently; [build] composes them unchanged. *)
+
+(* Stage body 1: ensure [oracle] holds the round-to-odd result of every
+   finite, non-shortcut input.  Missing entries are computed in a pure
+   parallel fan-out (the table is read, never written, during the sweep)
+   and installed on the driver in input order.  Returns the number of
+   entries computed — 0 means the table was already complete. *)
+let ensure_oracle ~(cfg : Config.t) ~(family : Reduction.t)
+    ~(inputs : int64 array) ~(oracle : (int64, int64) Hashtbl.t) =
   let tin = cfg.tin and tout = Config.tout cfg in
-  let oracle = oracle_table ~func:family.func ~tin ~tout in
-  let table : (int * int64, point) Hashtbl.t =
-    Hashtbl.create (Array.length inputs)
-  in
-  (* Phase 1, parallel: the Ziv-loop oracle evaluations and the interval
-     pull-back — all the expensive per-input work.  Pure fan-out: the
-     shared oracle table is read, never written (memoization happens in
-     phase 2 on the driver), so concurrent lookups are safe. *)
-  let prep =
+  let fresh =
     Parallel.map_array
       (fun x ->
-        if not (Softfp.is_finite tin x) then P_skip
-        else begin
+        if not (Softfp.is_finite tin x) then None
+        else
           let xf = Softfp.to_float tin x in
           match family.shortcut xf with
-          | Some _ -> P_skip (* analytic fast path; checked during verification *)
-          | None ->
-              let y =
-                match Hashtbl.find_opt oracle x with
-                | Some y -> y
-                | None ->
-                    Oracle.correctly_round family.func (Softfp.to_rat tin x)
-                      ~fmt:tout ~mode:Softfp.RTO
-              in
-              let iv = Intervals.of_round_to_odd tout y in
-              let red = family.reduce xf in
-              (match reduced_interval red iv with
-              | None -> P_special y
-              | Some (lo, hi) ->
-                  P_point { y; piece = red.piece; r = red.r; lo; hi })
-        end)
+          | Some _ -> None (* analytic fast path; checked during verification *)
+          | None -> (
+              match Hashtbl.find_opt oracle x with
+              | Some _ -> None
+              | None ->
+                  Some
+                    (Oracle.correctly_round family.func (Softfp.to_rat tin x)
+                       ~fmt:tout ~mode:Softfp.RTO)))
       inputs
   in
-  (* Phase 2, sequential and in input order (the merge order is part of
-     the output: an empty CalculatePhi intersection demotes the *newest*
-     input), so the result is bit-identical for every job count. *)
-  let specials = ref [] in
+  let computed = ref 0 in
   Array.iteri
     (fun i x ->
+      match fresh.(i) with
+      | None -> ()
+      | Some y ->
+          Hashtbl.replace oracle x y;
+          incr computed)
+    inputs;
+  !computed
+
+(* One covered input's rounding interval: the round-to-odd oracle result
+   and the target interval it induces in H = binary64. *)
+type rounding_interval = {
+  ri_x : int64;
+  ri_y : int64;
+  ri_lo : float;
+  ri_hi : float;
+}
+
+(* Stage body 2: CalcRndIntervals.  One entry per finite, non-shortcut
+   input, in input order.  Derived entirely from the oracle table (which
+   must cover the inputs — [ensure_oracle] first), so it depends only on
+   (func, tin, tout), never on the piece split or reduction table. *)
+let rounding_intervals ~(cfg : Config.t) ~(family : Reduction.t)
+    ~(inputs : int64 array) ~(oracle : (int64, int64) Hashtbl.t) =
+  let tin = cfg.tin and tout = Config.tout cfg in
+  let acc = ref [] in
+  Array.iter
+    (fun x ->
+      if Softfp.is_finite tin x then
+        let xf = Softfp.to_float tin x in
+        match family.shortcut xf with
+        | Some _ -> ()
+        | None ->
+            let y =
+              match Hashtbl.find_opt oracle x with
+              | Some y -> y
+              | None ->
+                  (* Robustness: a caller resuming from a partial store
+                     may hand an incomplete table; the result is the same
+                     either way. *)
+                  Oracle.correctly_round family.func (Softfp.to_rat tin x)
+                    ~fmt:tout ~mode:Softfp.RTO
+            in
+            let iv = Intervals.of_round_to_odd tout y in
+            acc := { ri_x = x; ri_y = y; ri_lo = iv.Intervals.lo;
+                     ri_hi = iv.Intervals.hi }
+                   :: !acc)
+    inputs;
+  Array.of_list (List.rev !acc)
+
+(* Per-entry outcome of the parallel pull-back phase of [combine]. *)
+type prepared =
+  | P_special  (* constraint not expressible *)
+  | P_point of { piece : int; r : float; lo : float; hi : float }
+
+(* Stage body 3: CalcRedIntervals + CombineRedIntervals.  The pull-back
+   through the inverse output compensation fans out across the domain
+   pool; the CalculatePhi merge runs on the driver in entry order (the
+   merge order is part of the output: an empty intersection demotes the
+   *newest* input), so the result is bit-identical for every job count. *)
+let combine ~(cfg : Config.t) ~(family : Reduction.t)
+    ~(rivals : rounding_interval array) =
+  let tin = cfg.tin and tout = Config.tout cfg in
+  let table : (int * int64, point) Hashtbl.t =
+    Hashtbl.create (Array.length rivals)
+  in
+  let prep =
+    Parallel.map_array
+      (fun ri ->
+        let xf = Softfp.to_float tin ri.ri_x in
+        let iv = { Intervals.lo = ri.ri_lo; hi = ri.ri_hi } in
+        let red = family.reduce xf in
+        match reduced_interval red iv with
+        | None -> P_special
+        | Some (lo, hi) -> P_point { piece = red.piece; r = red.r; lo; hi })
+      rivals
+  in
+  let specials = ref [] in
+  Array.iteri
+    (fun i ri ->
+      let x = ri.ri_x in
       match prep.(i) with
-      | P_skip -> ()
-      | P_special y ->
-          Hashtbl.replace oracle x y;
-          specials := (x, Softfp.to_float tout y) :: !specials
-      | P_point { y; piece; r; lo; hi } -> (
-          Hashtbl.replace oracle x y;
+      | P_special -> specials := (x, Softfp.to_float tout ri.ri_y) :: !specials
+      | P_point { piece; r; lo; hi } -> (
           let key = (piece, Int64.bits_of_float r) in
           match Hashtbl.find_opt table key with
           | None -> Hashtbl.replace table key { r; piece; lo; hi; xs = [ x ] }
@@ -162,9 +229,8 @@ let build ~(cfg : Config.t) ~(family : Reduction.t) ~(inputs : int64 array) =
                 pt.hi <- nhi;
                 pt.xs <- x :: pt.xs
               end
-              else specials := (x, Softfp.to_float tout y) :: !specials))
-    inputs;
-  persist_oracle_table ~func:family.func ~tin ~tout;
+              else specials := (x, Softfp.to_float tout ri.ri_y) :: !specials))
+    rivals;
   let points = Array.make family.pieces [] in
   Hashtbl.iter
     (fun _ pt -> points.(pt.piece) <- pt :: points.(pt.piece))
@@ -177,4 +243,13 @@ let build ~(cfg : Config.t) ~(family : Reduction.t) ~(inputs : int64 array) =
         a)
       points
   in
-  { points; immediate_specials = !specials; oracle }
+  (points, !specials)
+
+let build ~(cfg : Config.t) ~(family : Reduction.t) ~(inputs : int64 array) =
+  let tin = cfg.tin and tout = Config.tout cfg in
+  let oracle = oracle_table ~func:family.func ~tin ~tout in
+  ignore (ensure_oracle ~cfg ~family ~inputs ~oracle : int);
+  persist_oracle_table ~func:family.func ~tin ~tout;
+  let rivals = rounding_intervals ~cfg ~family ~inputs ~oracle in
+  let points, immediate_specials = combine ~cfg ~family ~rivals in
+  { points; immediate_specials; oracle }

@@ -47,17 +47,84 @@ val reduced_interval :
     The per-input oracle evaluations and interval pull-backs fan out
     across the {!Parallel} pool; the CalculatePhi merge runs on the
     driver in input order, so the result is bit-identical for every job
-    count. *)
+    count.  [build] is the composition of the three stage bodies below;
+    the staged pipeline (lib/pipeline) calls them separately so each
+    product persists and resumes on its own. *)
 val build :
   cfg:Config.t ->
   family:Reduction.t ->
   inputs:int64 array ->
   build_result
 
+(** {1 Stage bodies}
+
+    Pure computations (no disk I/O beyond the shared oracle memo the
+    caller hands in) with the same determinism contract as [build]. *)
+
+(** [ensure_oracle ~cfg ~family ~inputs ~oracle] fills [oracle] with the
+    round-to-odd result of every finite, non-shortcut input that is not
+    already present (parallel fan-out, driver-side install in input
+    order).  Returns the number of entries computed; [0] means the table
+    already covered the inputs. *)
+val ensure_oracle :
+  cfg:Config.t ->
+  family:Reduction.t ->
+  inputs:int64 array ->
+  oracle:(int64, int64) Hashtbl.t ->
+  int
+
+(** One covered input's rounding interval (CalcRndIntervals): the oracle
+    round-to-odd bits and the interval they induce in H = binary64. *)
+type rounding_interval = {
+  ri_x : int64;  (** input bits *)
+  ri_y : int64;  (** oracle round-to-odd result bits *)
+  ri_lo : float;
+  ri_hi : float;
+}
+
+(** [rounding_intervals ~cfg ~family ~inputs ~oracle] lists, in input
+    order, the rounding interval of every finite non-shortcut input.
+    Depends only on (func, tin, tout) — never on the piece split or the
+    reduction table — which is what makes it a separately keyable
+    artifact.  Missing oracle entries are recomputed on the fly (same
+    value), so a partially resumed table is safe. *)
+val rounding_intervals :
+  cfg:Config.t ->
+  family:Reduction.t ->
+  inputs:int64 array ->
+  oracle:(int64, int64) Hashtbl.t ->
+  rounding_interval array
+
+(** [combine ~cfg ~family ~rivals] pulls every rounding interval back
+    through the inverse output compensation (parallel) and runs the
+    CalculatePhi merge (driver, entry order): CalcRedIntervals +
+    CombineRedIntervals.  Returns the per-piece sorted points and the
+    immediate specials, i.e. [build_result] minus the oracle table. *)
+val combine :
+  cfg:Config.t ->
+  family:Reduction.t ->
+  rivals:rounding_interval array ->
+  point array array * (int64 * float) list
+
 (** Drop every in-process memoized oracle table (the on-disk cache is
     untouched).  For tests that need to re-pay the oracle computation —
     e.g. the [-j 1] vs [-j N] determinism check. *)
 val clear_memory_cache : unit -> unit
+
+(** The shared oracle table for [(func, tin, tout)]: the in-process memo
+    if present, else loaded from the persistent store, else fresh and
+    empty.  The same physical table is returned for the same triple, so
+    entries accumulate across builds of different schemes. *)
+val oracle_table :
+  func:Oracle.func ->
+  tin:Softfp.fmt ->
+  tout:Softfp.fmt ->
+  (int64, int64) Hashtbl.t
+
+(** Publish the memoized oracle table of [(func, tin, tout)] through the
+    persistent store (no-op if the triple was never materialized). *)
+val persist_oracle_table :
+  func:Oracle.func -> tin:Softfp.fmt -> tout:Softfp.fmt -> unit
 
 (** The collision-free persistent-store key of the oracle table for
     [(func, tin, tout)]: covers both formats' exponent width {e and}

@@ -275,32 +275,50 @@ type generated = {
 
 let n_specials g = Hashtbl.length g.specials
 
-let run ?(log = fun _ -> ()) ~(cfg : Config.t) ~scheme ~func
-    ~(inputs : int64 array) () =
-  let tout = Config.tout cfg in
-  let family =
-    Reduction.make func ~out_fmt:tout ~pieces:cfg.pieces
-      ~table_bits:cfg.table_bits
-  in
-  let built = Constraints.build ~cfg ~family ~inputs in
-  let specials = Hashtbl.create 16 in
-  List.iter
-    (fun (x, v) -> Hashtbl.replace specials x v)
-    built.immediate_specials;
+(* Closure-free product of the LP/adapt/validate/constrain loop: what the
+   staged pipeline persists for the polynomial stage.  [sv_data] holds
+   each piece's *compiled* constants (Polyeval.compiled.data — adapted
+   ones for Knuth); Polyeval.of_data rebuilds bit-identical evaluators. *)
+type solved = {
+  sv_data : float array array;  (* per piece *)
+  sv_degrees : int array;
+  sv_rounds : int array;
+  sv_n_constraints : int array;
+  sv_specials : (int64 * float) list;  (* in discovery order *)
+}
+
+(* Pure stage body: solve every piece over an already-built constraint
+   set.  All randomness (vertex tilt, dither) is seeded per piece and
+   degree, so the result is a deterministic function of the inputs. *)
+let solve ?(log = fun _ -> ()) ~(cfg : Config.t) ~scheme ~func
+    ~(built : Constraints.build_result) () =
+  let tin = cfg.tin and tout = Config.tout cfg in
   let decoded_result x =
-    Softfp.to_float tout (Hashtbl.find built.oracle x)
+    (* The oracle table normally covers every special input; recompute on
+       a miss (same value) so a partially resumed table stays safe. *)
+    let y =
+      match Hashtbl.find_opt built.oracle x with
+      | Some y -> y
+      | None ->
+          Oracle.correctly_round func (Softfp.to_rat tin x) ~fmt:tout
+            ~mode:Softfp.RTO
+    in
+    Softfp.to_float tout y
   in
   let pieces = Array.length built.points in
-  let compiled = Array.make pieces None in
+  let data = Array.make pieces [||] in
   let degrees = Array.make pieces 0 in
   let rounds = Array.make pieces 0 in
   let n_constraints = Array.map Array.length built.points in
+  let specials = ref (List.rev built.immediate_specials) in
   let failure = ref None in
   for pi = 0 to pieces - 1 do
     if !failure = None then begin
       let pts = built.points.(pi) in
       if Array.length pts = 0 then begin
-        compiled.(pi) <- Polyeval.compile scheme [| 0.0 |];
+        (match Polyeval.compile scheme [| 0.0 |] with
+        | Some c -> data.(pi) <- c.Polyeval.data
+        | None -> data.(pi) <- [| 0.0 |]);
         degrees.(pi) <- 0
       end
       else begin
@@ -327,11 +345,11 @@ let run ?(log = fun _ -> ()) ~(cfg : Config.t) ~scheme ~func
                 ~max_specials:cfg.max_specials pts
             with
             | Done { compiled = c; specials = sp; rounds = r } ->
-                compiled.(pi) <- Some c;
+                data.(pi) <- c.Polyeval.data;
                 degrees.(pi) <- d;
                 rounds.(pi) <- r;
                 List.iter
-                  (fun x -> Hashtbl.replace specials x (decoded_result x))
+                  (fun x -> specials := (x, decoded_result x) :: !specials)
                   sp
             | Scheme_na | Unsat -> try_degree (d + 1)
           end
@@ -343,20 +361,57 @@ let run ?(log = fun _ -> ()) ~(cfg : Config.t) ~scheme ~func
   match !failure with
   | Some msg -> Error msg
   | None ->
-      let pieces =
-        Array.map
-          (function Some c -> c | None -> assert false)
-          compiled
-      in
       Ok
         {
-          cfg;
-          family;
-          scheme;
-          pieces;
-          specials;
-          oracle = built.oracle;
-          degrees;
-          rounds;
-          n_constraints;
+          sv_data = data;
+          sv_degrees = degrees;
+          sv_rounds = rounds;
+          sv_n_constraints = n_constraints;
+          sv_specials = List.rev !specials;
         }
+
+(* Rebuild the runnable implementation from the closure-free artifact:
+   recompile each piece's constants, rebuild the range reduction, and
+   re-attach the shared oracle table. *)
+let assemble ~(cfg : Config.t) ~scheme ~func
+    ~(oracle : (int64, int64) Hashtbl.t) (sv : solved) =
+  let tout = Config.tout cfg in
+  let family =
+    Reduction.make func ~out_fmt:tout ~pieces:cfg.pieces
+      ~table_bits:cfg.table_bits
+  in
+  let pieces =
+    Array.map
+      (fun d ->
+        match Polyeval.of_data scheme d with
+        | Some c -> c
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Generate.assemble: stale %s piece data"
+                 (Polyeval.scheme_name scheme)))
+      sv.sv_data
+  in
+  let specials = Hashtbl.create 16 in
+  List.iter (fun (x, v) -> Hashtbl.replace specials x v) sv.sv_specials;
+  {
+    cfg;
+    family;
+    scheme;
+    pieces;
+    specials;
+    oracle;
+    degrees = sv.sv_degrees;
+    rounds = sv.sv_rounds;
+    n_constraints = sv.sv_n_constraints;
+  }
+
+let run ?log ~(cfg : Config.t) ~scheme ~func ~(inputs : int64 array) () =
+  let tout = Config.tout cfg in
+  let family =
+    Reduction.make func ~out_fmt:tout ~pieces:cfg.pieces
+      ~table_bits:cfg.table_bits
+  in
+  let built = Constraints.build ~cfg ~family ~inputs in
+  match solve ?log ~cfg ~scheme ~func ~built () with
+  | Error _ as e -> e
+  | Ok sv -> Ok (assemble ~cfg ~scheme ~func ~oracle:built.oracle sv)

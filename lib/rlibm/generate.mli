@@ -49,8 +49,50 @@ type generated = {
 (** Number of special-case inputs (the Table 1 column). *)
 val n_specials : generated -> int
 
+(** Closure-free product of the polynomial stage — what the staged
+    pipeline persists.  [sv_data] holds each piece's {e compiled}
+    constants ({!Polyeval.compiled}[.data]; Knuth's adapted coefficients
+    for the Knuth scheme); {!Polyeval.of_data} rebuilds bit-identical
+    evaluators from them. *)
+type solved = {
+  sv_data : float array array;  (** per piece *)
+  sv_degrees : int array;
+  sv_rounds : int array;
+  sv_n_constraints : int array;
+  sv_specials : (int64 * float) list;
+      (** special-case inputs in discovery order: the constraint stage's
+          immediate specials first, then each piece's leftovers *)
+}
+
+(** [solve ~cfg ~scheme ~func ~built ()] runs the per-piece degree
+    escalation over an already-built constraint set.  A pure stage body:
+    all randomness is seeded per (piece, degree), so the result is a
+    deterministic function of the arguments at every job count. *)
+val solve :
+  ?log:(string -> unit) ->
+  cfg:Config.t ->
+  scheme:Polyeval.scheme ->
+  func:Oracle.func ->
+  built:Constraints.build_result ->
+  unit ->
+  (solved, string) result
+
+(** [assemble ~cfg ~scheme ~func ~oracle sv] rebuilds the runnable
+    implementation from the closure-free artifact: recompiles each
+    piece, rebuilds the range reduction, re-attaches the oracle table.
+    @raise Invalid_argument when [sv]'s data cannot compile for
+    [scheme] (a stale or foreign artifact). *)
+val assemble :
+  cfg:Config.t ->
+  scheme:Polyeval.scheme ->
+  func:Oracle.func ->
+  oracle:(int64, int64) Hashtbl.t ->
+  solved ->
+  generated
+
 (** [run ~cfg ~scheme ~func ~inputs ()] generates the full piecewise
-    approximation for [func] over the given input patterns.  [Error]
+    approximation for [func] over the given input patterns:
+    {!Constraints.build}, then {!solve}, then {!assemble}.  [Error]
     carries a description of the piece that could not be satisfied within
     [cfg]'s degree/round/special budgets. *)
 val run :

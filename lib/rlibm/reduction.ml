@@ -110,7 +110,10 @@ let exp_family func ~out_fmt ~pieces =
 
 (* ---------- logarithm family ---------- *)
 
-(* T[j] = correctly rounded double of log_b(1 + j/2^J), from the oracle. *)
+(* T[j] = correctly rounded double of log_b(1 + j/2^J), from the oracle.
+   Memoized in-process and persisted through the artifact store: the
+   table is the one remaining oracle product a warm pipeline run would
+   otherwise have to recompute just to rebuild the reduction closures. *)
 let table_cache : (string * int, float array) Hashtbl.t = Hashtbl.create 8
 
 let log_table func ~table_bits =
@@ -118,13 +121,23 @@ let log_table func ~table_bits =
   match Hashtbl.find_opt table_cache key with
   | Some t -> t
   | None ->
-      let n = 1 lsl table_bits in
+      let store_key =
+        Printf.sprintf "logtab-%s-J%d-v1" (Oracle.name func) table_bits
+      in
       let t =
-        Array.init n (fun j ->
-            if j = 0 then 0.0
-            else
-              Oracle.float64 func
-                (1.0 +. (float_of_int j /. float_of_int n)))
+        match (Cache.load ~kind:"table" ~key:store_key : float array option) with
+        | Some t when Array.length t = 1 lsl table_bits -> t
+        | _ ->
+            let n = 1 lsl table_bits in
+            let t =
+              Array.init n (fun j ->
+                  if j = 0 then 0.0
+                  else
+                    Oracle.float64 func
+                      (1.0 +. (float_of_int j /. float_of_int n)))
+            in
+            Cache.store ~kind:"table" ~key:store_key t;
+            t
       in
       Hashtbl.replace table_cache key t;
       t

@@ -43,7 +43,7 @@ let check_counts ~hits ~misses ~corrupt () =
    quarantined aside (so the next load is a clean miss). *)
 let check_rejected ~key d =
   let corrupt_before = (Cache.stats ()).Cache.corrupt_rejected in
-  Alcotest.(check bool) "rejected" true (Cache.load ~key = (None : int list option));
+  Alcotest.(check bool) "rejected" true (Cache.load ~kind:"test" ~key = (None : int list option));
   Alcotest.(check int) "one more corrupt-rejected" (corrupt_before + 1)
     (Cache.stats ()).Cache.corrupt_rejected;
   Alcotest.(check bool) "quarantined aside" true
@@ -51,15 +51,15 @@ let check_rejected ~key d =
   Alcotest.(check bool) "original gone" false
     (Sys.file_exists (Cache.path_of_key key));
   Alcotest.(check bool) "subsequent load is a miss" true
-    (Cache.load ~key = (None : int list option))
+    (Cache.load ~kind:"test" ~key = (None : int list option))
 
 let value : int list = List.init 257 (fun i -> (i * i) - 7)
 
 let test_roundtrip () =
   in_fresh_dir (fun _d ->
-      Cache.store ~key:"roundtrip" value;
+      Cache.store ~kind:"test" ~key:"roundtrip" value;
       Alcotest.(check bool) "loads back" true
-        (Cache.load ~key:"roundtrip" = Some value);
+        (Cache.load ~kind:"test" ~key:"roundtrip" = Some value);
       check_counts ~hits:1 ~misses:0 ~corrupt:0 ();
       let s = Cache.stats () in
       Alcotest.(check bool) "bytes written" true (s.Cache.bytes_written > 0);
@@ -69,13 +69,43 @@ let test_roundtrip () =
 let test_miss () =
   in_fresh_dir (fun _d ->
       Alcotest.(check bool) "absent" true
-        (Cache.load ~key:"never-stored" = (None : int list option));
+        (Cache.load ~kind:"test" ~key:"never-stored" = (None : int list option));
       check_counts ~hits:0 ~misses:1 ~corrupt:0 ())
+
+let test_per_kind_stats () =
+  in_fresh_dir (fun _d ->
+      Cache.store ~kind:"oracle" ~key:"k1" value;
+      Cache.store ~kind:"poly" ~key:"k2" value;
+      ignore (Cache.load ~kind:"oracle" ~key:"k1" : int list option);
+      ignore (Cache.load ~kind:"oracle" ~key:"k1" : int list option);
+      ignore (Cache.load ~kind:"poly" ~key:"absent" : int list option);
+      let kinds = Cache.stats_by_kind () in
+      let find k = List.assoc k kinds in
+      let o = find "oracle" and p = find "poly" in
+      Alcotest.(check int) "oracle hits" 2 o.Cache.hits;
+      Alcotest.(check int) "oracle misses" 0 o.Cache.misses;
+      Alcotest.(check bool) "oracle bytes written" true
+        (o.Cache.bytes_written > 0);
+      Alcotest.(check int) "poly hits" 0 p.Cache.hits;
+      Alcotest.(check int) "poly misses" 1 p.Cache.misses;
+      (* global counters are the sum over kinds *)
+      let s = Cache.stats () in
+      Alcotest.(check int) "global hits" (o.Cache.hits + p.Cache.hits)
+        s.Cache.hits;
+      Alcotest.(check int) "global misses" (o.Cache.misses + p.Cache.misses)
+        s.Cache.misses;
+      (* the per-kind report renders one line per kind *)
+      let rendered =
+        Format.asprintf "%a" Cache.pp_stats_by_kind (Cache.stats_by_kind ())
+      in
+      Alcotest.(check bool) "report names both kinds" true
+        (has_substring ~sub:"oracle" rendered
+        && has_substring ~sub:"poly" rendered))
 
 let test_truncated () =
   in_fresh_dir (fun d ->
       let key = "truncated" in
-      Cache.store ~key value;
+      Cache.store ~kind:"test" ~key value;
       let path = Cache.path_of_key key in
       let data = read_file path in
       write_file path (String.sub data 0 (String.length data - 5));
@@ -84,7 +114,7 @@ let test_truncated () =
 let test_bitflip_payload () =
   in_fresh_dir (fun d ->
       let key = "bitflip" in
-      Cache.store ~key value;
+      Cache.store ~kind:"test" ~key value;
       let path = Cache.path_of_key key in
       let b = Bytes.of_string (read_file path) in
       let off = Bytes.length b - 3 in
@@ -95,7 +125,7 @@ let test_bitflip_payload () =
 let test_wrong_version () =
   in_fresh_dir (fun d ->
       let key = "wrong-version" in
-      Cache.store ~key value;
+      Cache.store ~kind:"test" ~key value;
       let path = Cache.path_of_key key in
       let b = Bytes.of_string (read_file path) in
       (* the u32 at offset 8 is the container format version *)
@@ -107,13 +137,13 @@ let test_wrong_key () =
   in_fresh_dir (fun d ->
       (* A file renamed (or hash-collided) onto another key's path still
          carries the full key in its header and must be rejected. *)
-      Cache.store ~key:"key-a" value;
+      Cache.store ~kind:"test" ~key:"key-a" value;
       write_file (Cache.path_of_key "key-b")
         (read_file (Cache.path_of_key "key-a"));
       check_rejected ~key:"key-b" d;
       (* the genuine entry is untouched *)
       Alcotest.(check bool) "key-a still loads" true
-        (Cache.load ~key:"key-a" = Some value))
+        (Cache.load ~kind:"test" ~key:"key-a" = Some value))
 
 let test_legacy_unversioned_blob () =
   in_fresh_dir (fun d ->
@@ -131,7 +161,7 @@ let test_concurrent_writers () =
       let writer tag =
         Domain.spawn (fun () ->
             for i = 1 to rounds do
-              Cache.store ~key (tag, i)
+              Cache.store ~kind:"test" ~key (tag, i)
             done)
       in
       let d1 = writer "a" and d2 = writer "b" in
@@ -139,7 +169,7 @@ let test_concurrent_writers () =
       Domain.join d2;
       (* Whatever interleaving happened, the published file is one
          writer's complete, validating record — never a torn mix. *)
-      (match (Cache.load ~key : (string * int) option) with
+      (match (Cache.load ~kind:"test" ~key : (string * int) option) with
       | Some (tag, i) ->
           Alcotest.(check bool) "a complete record" true
             ((tag = "a" || tag = "b") && i = rounds)
@@ -228,6 +258,7 @@ let suite =
   [
     ("store/load roundtrip", `Quick, test_roundtrip);
     ("absent entry is a miss", `Quick, test_miss);
+    ("per-kind counters", `Quick, test_per_kind_stats);
     ("truncated file rejected", `Quick, test_truncated);
     ("bit-flipped payload rejected", `Quick, test_bitflip_payload);
     ("wrong format version rejected", `Quick, test_wrong_version);

@@ -16,6 +16,7 @@ let () =
       (* Needs the disk cache enabled, so it must precede the parallel
          suite (see below). *)
       ("cache", Test_cache.suite);
+      ("pipeline", Test_pipeline.suite);
       (* Last: the determinism tests disable the oracle disk cache for
          the rest of the process. *)
       ("parallel", Test_parallel.suite);

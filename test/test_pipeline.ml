@@ -1,0 +1,227 @@
+(* Tests for the staged artifact pipeline: the key invalidation graph
+   (each knob orphans exactly the downstream stages), stage-level
+   hit/rebuild behaviour, and the resume guarantee — a run restarted
+   after the shallow stages completed rebuilds only the deep stages and
+   still produces bit-identical output at every job count. *)
+
+let dir_counter = ref 0
+
+(* Run [f] against a fresh store directory, restoring the previous one
+   afterwards (other suites share the process). *)
+let in_fresh_dir f =
+  let saved = Cache.dir () in
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rlibm-pipeline-test-%d-%d" (Unix.getpid ())
+         !dir_counter)
+  in
+  (try Sys.mkdir d 0o755 with Sys_error _ -> ());
+  Cache.set_dir d;
+  Fun.protect ~finally:(fun () -> Cache.set_dir saved) (fun () -> f d)
+
+let tiny_cfg =
+  {
+    Rlibm.Config.default_mini with
+    Rlibm.Config.tin = Softfp.make_fmt ~ebits:4 ~prec:7;
+    table_bits = 3;
+    max_specials = 40;
+    max_rounds = 20;
+  }
+
+(* The function's observable artifacts as exact bits: coefficients,
+   degrees and the special table.  (Deliberately not the shared oracle
+   table: verification lazily installs shortcut-path entries into it, so
+   its in-process extent depends on whether the verdict stage ran — a
+   warm run that loads the verdict skips exactly those lookups.) *)
+let fingerprint (g : Rlibm.Generate.generated) =
+  let coeffs =
+    Array.to_list g.Rlibm.Generate.pieces
+    |> List.concat_map (fun (p : Polyeval.compiled) ->
+           Array.to_list (Array.map Int64.bits_of_float p.Polyeval.data))
+  in
+  let specials =
+    Hashtbl.fold
+      (fun x v acc -> (x, Int64.bits_of_float v) :: acc)
+      g.Rlibm.Generate.specials []
+    |> List.sort compare
+  in
+  (coeffs, Array.to_list g.Rlibm.Generate.degrees, specials)
+
+(* One full pipeline pass from a cold in-process state (the disk store is
+   whatever the test arranged): per-stage statuses plus the output
+   fingerprint and verdict. *)
+let run_pass ?(scheme = Polyeval.Estrin) ?(func = Oracle.Exp2)
+    ?(cfg = tiny_cfg) () =
+  Rlibm.Constraints.clear_memory_cache ();
+  let events, result = Pipeline.run_stages ~cfg ~scheme func in
+  let statuses =
+    List.map (fun e -> (e.Pipeline.ev_stage, e.Pipeline.ev_status)) events
+  in
+  match result with
+  | Error msg -> Alcotest.failf "generation failed: %s" msg
+  | Ok (g, rep) -> (statuses, fingerprint g, rep)
+
+let status_t =
+  Alcotest.(
+    list
+      (pair
+         (testable
+            (Fmt.of_to_string Pipeline.stage_name)
+            (fun a b -> a = b))
+         (testable
+            (Fmt.of_to_string (function
+              | Pipeline.Hit -> "hit"
+              | Pipeline.Rebuilt -> "rebuilt"))
+            (fun a b -> a = b))))
+
+let all_of st = List.map (fun s -> (s, st)) Pipeline.all_stages
+
+(* ---------- the key invalidation graph ---------- *)
+
+let test_keys () =
+  let cfg = tiny_cfg and f = Oracle.Exp2 and scheme = Polyeval.Estrin in
+  let keys c =
+    ( Pipeline.oracle_key ~cfg:c f,
+      Pipeline.intervals_key ~cfg:c f,
+      Pipeline.constraints_key ~cfg:c f,
+      Pipeline.poly_key ~cfg:c ~scheme f,
+      Pipeline.verdict_key ~cfg:c ~scheme f )
+  in
+  let o0, i0, c0, p0, v0 = keys cfg in
+  (* pieces: constraints and below *)
+  let o, i, c, p, v =
+    keys { cfg with Rlibm.Config.pieces = cfg.Rlibm.Config.pieces + 1 }
+  in
+  Alcotest.(check bool) "pieces keeps oracle+intervals" true (o = o0 && i = i0);
+  Alcotest.(check bool) "pieces invalidates constraints+" true
+    (c <> c0 && p <> p0 && v <> v0);
+  (* table_bits: constraints and below *)
+  let o, i, c, p, v =
+    keys { cfg with Rlibm.Config.table_bits = cfg.Rlibm.Config.table_bits + 1 }
+  in
+  Alcotest.(check bool) "table_bits keeps oracle+intervals" true
+    (o = o0 && i = i0);
+  Alcotest.(check bool) "table_bits invalidates constraints+" true
+    (c <> c0 && p <> p0 && v <> v0);
+  (* degree/round/special budgets: polynomial and below *)
+  let o, i, c, p, v =
+    keys { cfg with Rlibm.Config.max_rounds = cfg.Rlibm.Config.max_rounds + 1 }
+  in
+  Alcotest.(check bool) "budgets keep oracle..constraints" true
+    (o = o0 && i = i0 && c = c0);
+  Alcotest.(check bool) "budgets invalidate poly+" true (p <> p0 && v <> v0);
+  (* scheme: polynomial and below *)
+  Alcotest.(check bool) "scheme invalidates poly+" true
+    (Pipeline.poly_key ~cfg ~scheme:Polyeval.Horner f <> p0
+    && Pipeline.verdict_key ~cfg ~scheme:Polyeval.Horner f <> v0);
+  (* narrow: verdict only *)
+  Alcotest.(check bool) "narrow invalidates only the verdict" true
+    (Pipeline.verdict_key ~narrow:false ~cfg ~scheme f <> v0);
+  (* input format: everything *)
+  let o, i, c, p, v =
+    keys { cfg with Rlibm.Config.tin = Softfp.make_fmt ~ebits:4 ~prec:8 }
+  in
+  Alcotest.(check bool) "format invalidates everything" true
+    (o <> o0 && i <> i0 && c <> c0 && p <> p0 && v <> v0);
+  (* every stage key is a distinct store entry *)
+  Alcotest.(check int) "five distinct keys" 5
+    (List.length (List.sort_uniq compare [ o0; i0; c0; p0; v0 ]))
+
+(* ---------- stage invalidation: exactly the affected stages rebuild ---------- *)
+
+let test_stage_invalidation () =
+  in_fresh_dir (fun _d ->
+      let cold_st, cold_fp, cold_rep = run_pass () in
+      Alcotest.check status_t "cold run rebuilds every stage"
+        (all_of Pipeline.Rebuilt) cold_st;
+      let warm_st, warm_fp, warm_rep = run_pass () in
+      Alcotest.check status_t "warm run hits every stage"
+        (all_of Pipeline.Hit) warm_st;
+      Alcotest.(check bool) "warm output bit-identical" true
+        (warm_fp = cold_fp && warm_rep = cold_rep);
+      (* pieces change: oracle + intervals survive, the rest rebuild *)
+      let cfg2 = { tiny_cfg with Rlibm.Config.pieces = 2 } in
+      let st2, _, _ = run_pass ~cfg:cfg2 () in
+      Alcotest.check status_t "pieces change rebuilds constraints+"
+        Pipeline.
+          [
+            (Oracle, Hit);
+            (Intervals, Hit);
+            (Constraints, Rebuilt);
+            (Poly, Rebuilt);
+            (Verdict, Rebuilt);
+          ]
+        st2;
+      (* scheme change: everything up to constraints survives *)
+      let st3, _, _ = run_pass ~scheme:Polyeval.HornerFma () in
+      Alcotest.check status_t "scheme change rebuilds poly+"
+        Pipeline.
+          [
+            (Oracle, Hit);
+            (Intervals, Hit);
+            (Constraints, Hit);
+            (Poly, Rebuilt);
+            (Verdict, Rebuilt);
+          ]
+        st3;
+      (* and the original configuration still hits everywhere *)
+      let again_st, again_fp, _ = run_pass () in
+      Alcotest.check status_t "original knobs still fully warm"
+        (all_of Pipeline.Hit) again_st;
+      Alcotest.(check bool) "original output unchanged" true
+        (again_fp = cold_fp))
+
+(* ---------- resume: shallow stages persisted, deep stages rebuilt ---------- *)
+
+let test_resume_bit_identical () =
+  let saved_jobs = Parallel.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.set_jobs saved_jobs)
+    (fun () ->
+      (* The reference output, from an uninterrupted cold run. *)
+      let reference =
+        in_fresh_dir (fun _d ->
+            Parallel.set_jobs 1;
+            let _, fp, rep = run_pass () in
+            (fp, rep))
+      in
+      List.iter
+        (fun jobs ->
+          in_fresh_dir (fun _d ->
+              Parallel.set_jobs jobs;
+              (* "Interrupted" run: only stages 1-2 completed. *)
+              Rlibm.Constraints.clear_memory_cache ();
+              let counts =
+                Pipeline.warm ~through:Pipeline.Intervals
+                  [ (Oracle.Exp2, tiny_cfg) ]
+              in
+              Alcotest.(check int) "one pair warmed" 1 (List.length counts);
+              (* Resume: stages 1-2 load, stages 3-5 rebuild. *)
+              let st, fp, rep = run_pass () in
+              Alcotest.check status_t
+                (Printf.sprintf "resume at -j %d rebuilds stages 3+" jobs)
+                Pipeline.
+                  [
+                    (Oracle, Hit);
+                    (Intervals, Hit);
+                    (Constraints, Rebuilt);
+                    (Poly, Rebuilt);
+                    (Verdict, Rebuilt);
+                  ]
+                st;
+              Alcotest.(check bool)
+                (Printf.sprintf "resumed output at -j %d = cold -j 1" jobs)
+                true
+                ((fp, rep) = reference)))
+        [ 1; 4 ])
+
+let suite =
+  [
+    ("key invalidation graph", `Quick, test_keys);
+    ("stage invalidation rebuilds exactly downstream", `Slow,
+     test_stage_invalidation);
+    ("resume is bit-identical at -j 1 and -j 4", `Slow,
+     test_resume_bit_identical);
+  ]

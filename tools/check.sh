@@ -1,8 +1,10 @@
 #!/bin/sh
 # Tier-1 gate for every PR: build, run the full test suite, smoke-check
 # the parallel determinism contract (-j 1 output must be bit-identical to
-# -j N), and smoke-check that a poisoned oracle cache is rejected and
-# regenerated without changing a single output bit.
+# -j N), smoke-check that a poisoned oracle cache is rejected and
+# regenerated without changing a single output bit, and smoke-check the
+# staged pipeline (cold run vs warm run vs interrupted-then-resumed run:
+# bit-identical output, zero stage rebuilds when warm).
 # Usage: tools/check.sh [N]   (N = fan-out width, default 4)
 set -eu
 
@@ -47,5 +49,49 @@ grep -Eq '[1-9][0-9]* corrupt-rejected' "$stats" \
 ls "$cachedir"/*.corrupt-* > /dev/null \
   || { echo "corrupt entry was not quarantined"; exit 1; }
 echo "poisoned cache rejected, quarantined, and regenerated bit-identically"
+
+echo "== staged pipeline smoke (cold / warm / resume) =="
+stagedir=$(mktemp -d) && resumedir=$(mktemp -d)
+coldg=$(mktemp) && warmg=$(mktemp) && resumedg=$(mktemp)
+stageout=$(mktemp) && warmstats=$(mktemp)
+trap 'rm -f "$tmp1" "$tmpN" "$cold" "$poisoned" "$stats" \
+       "$coldg" "$warmg" "$resumedg" "$stageout" "$warmstats"
+     rm -rf "$cachedir" "$stagedir" "$resumedir"' EXIT
+# Cold run: every stage rebuilt and persisted.
+RLIBM_CACHE_DIR="$stagedir" dune exec --no-build bin/rlibm_gen.exe -- generate \
+  --func exp2 --scheme estrin-fma --ebits 4 --prec 7 --verify > "$coldg"
+# Warm run: all five stages must hit (zero rebuilds, zero store misses),
+# and the generated output must not move a bit.
+RLIBM_CACHE_DIR="$stagedir" dune exec --no-build bin/rlibm_gen.exe -- stages \
+  --func exp2 --scheme estrin-fma --ebits 4 --prec 7 --cache-stats \
+  > "$stageout" 2> "$warmstats"
+if grep -q 'rebuilt' "$stageout"; then
+  echo "warm run rebuilt a stage:"; cat "$stageout"; exit 1
+fi
+[ "$(grep -c '  hit  ' "$stageout")" -eq 5 ] \
+  || { echo "expected 5 stage hits:"; cat "$stageout"; exit 1; }
+grep -q ' 0 misses' "$warmstats" \
+  || { echo "warm run missed the store:"; cat "$warmstats"; exit 1; }
+grep -q 'poly' "$warmstats" \
+  || { echo "per-kind counters missing:"; cat "$warmstats"; exit 1; }
+RLIBM_CACHE_DIR="$stagedir" dune exec --no-build bin/rlibm_gen.exe -- generate \
+  --func exp2 --scheme estrin-fma --ebits 4 --prec 7 --verify > "$warmg"
+diff "$coldg" "$warmg"
+echo "warm run: 5/5 stage hits, output bit-identical"
+# Interrupted run: only the oracle and rounding-interval stages complete.
+RLIBM_CACHE_DIR="$resumedir" dune exec --no-build bin/rlibm_gen.exe -- warm \
+  --func exp2 --through intervals --ebits 4 --prec 7 > /dev/null
+# Resume: stages 1-2 load, stages 3-5 rebuild, output bit-identical to cold.
+RLIBM_CACHE_DIR="$resumedir" dune exec --no-build bin/rlibm_gen.exe -- stages \
+  --func exp2 --scheme estrin-fma --ebits 4 --prec 7 > "$stageout"
+for want in 'oracle  *hit' 'intervals  *hit' 'constraints  *rebuilt' \
+            'poly  *rebuilt' 'verdict  *rebuilt'; do
+  grep -Eq "$want" "$stageout" \
+    || { echo "resume expected '$want':"; cat "$stageout"; exit 1; }
+done
+RLIBM_CACHE_DIR="$resumedir" dune exec --no-build bin/rlibm_gen.exe -- generate \
+  --func exp2 --scheme estrin-fma --ebits 4 --prec 7 --verify > "$resumedg"
+diff "$coldg" "$resumedg"
+echo "interrupted run resumed from stage 3, output bit-identical"
 
 echo "== OK =="
