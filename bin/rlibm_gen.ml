@@ -4,6 +4,7 @@
      rlibm_gen generate --func exp2 --scheme estrin-fma [--ebits 5 --prec 8]
      rlibm_gen stages   --func exp2 --scheme estrin-fma   (per-stage status)
      rlibm_gen warm     [--func log2] [--through poly] [-j N]
+     rlibm_gen serve    [--func exp2 --func log2] [--check-scalar] [-j N]
      rlibm_gen oracle   --func log2 --x 1.5 [--prec 96]
      rlibm_gen cost     [--degree 5]
 
@@ -176,7 +177,7 @@ let warm_cmd =
             through;
           exit 2
     in
-    let funcs = match func with Some f -> [ f ] | None -> Oracle.all in
+    let funcs = Option.fold ~none:Oracle.all ~some:(fun f -> [ f ]) func in
     let schemes =
       match scheme_opt with Some s -> [ s ] | None -> Polyeval.paper_schemes
     in
@@ -229,6 +230,128 @@ let warm_cmd =
       const run $ Cli.func_arg $ scheme_opt $ through $ Cli.ebits_arg
       $ Cli.prec_arg $ pieces_arg $ table_bits_arg $ Cli.jobs_arg
       $ Cli.cache_dir_arg $ Cli.cache_stats_arg)
+
+(* ---------- serve ---------- *)
+
+let serve_cmd =
+  let run funcs scheme ebits prec pieces table_bits count seed check_scalar
+      print_bits verbose jobs cache_dir cache_stats =
+    Cli.set_jobs jobs;
+    Cli.set_cache_dir cache_dir;
+    if cache_stats then at_exit (fun () -> Cli.report_cache_stats true);
+    let log =
+      if verbose then fun s -> Printf.eprintf "%s\n%!" s else fun _ -> ()
+    in
+    let funcs = if funcs = [] then Oracle.all else funcs in
+    let specs =
+      List.map
+        (fun f -> (f, scheme, cfg_for f ~ebits ~prec ~pieces ~table_bits))
+        funcs
+    in
+    (* Job-count-dependent chatter goes to stderr: stdout must be
+       bit-identical at every -j (tools/check.sh diffs it). *)
+    Printf.eprintf "building snapshot of %d functions (-j %d)\n%!"
+      (List.length specs) (Parallel.jobs ());
+    match Serve.build ~log specs with
+    | Error msg ->
+        Printf.eprintf "snapshot build failed: %s\n" msg;
+        exit 1
+    | Ok snap ->
+        Printf.printf "snapshot %s (%d functions)\n" (Serve.key snap)
+          (List.length (Serve.entries snap));
+        List.iter
+          (fun (e : Serve.entry) ->
+            let func = e.Serve.e_func in
+            let tin = e.Serve.e_cfg.Rlibm.Config.tin in
+            let inputs =
+              match count with
+              | Some c -> Genlibm.inputs_sampled tin ~count:c ~seed
+              | None -> Genlibm.inputs_exhaustive tin
+            in
+            let out = Serve.eval_batch snap func inputs in
+            let buf = Buffer.create (Array.length out * 8) in
+            Array.iter
+              (fun v -> Buffer.add_int64_le buf (Int64.bits_of_float v))
+              out;
+            Printf.printf "%-6s %-11s %d inputs  results-md5 %s\n"
+              (Oracle.name func)
+              (Polyeval.scheme_name e.Serve.e_scheme)
+              (Array.length inputs)
+              (Digest.to_hex (Digest.bytes (Buffer.to_bytes buf)));
+            if print_bits then
+              Array.iteri
+                (fun i x ->
+                  Printf.printf "%s %Lx %Lx\n" (Oracle.name func) x
+                    (Int64.bits_of_float out.(i)))
+                inputs;
+            if check_scalar then begin
+              let bad = ref 0 in
+              Array.iteri
+                (fun i x ->
+                  let s = Genlibm.eval_bits e.Serve.e_impl x in
+                  if
+                    not
+                      (Int64.equal (Int64.bits_of_float s)
+                         (Int64.bits_of_float out.(i)))
+                  then incr bad)
+                inputs;
+              if !bad > 0 then begin
+                Printf.eprintf
+                  "%s: %d batched results differ from scalar eval_bits\n"
+                  (Oracle.name func) !bad;
+                exit 1
+              end;
+              Printf.printf "%-6s scalar check: %d/%d bit-identical\n"
+                (Oracle.name func) (Array.length inputs) (Array.length inputs)
+            end)
+          (Serve.entries snap)
+  in
+  let count =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count" ]
+          ~doc:
+            "Evaluate a sampled batch of this many inputs instead of every \
+             finite input of the format.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~doc:"Sampling seed (with $(b,--count)).")
+  in
+  let check_scalar =
+    Arg.(
+      value & flag
+      & info [ "check-scalar" ]
+          ~doc:
+            "Re-evaluate every input through the scalar eval path and fail \
+             unless the batched results are bit-identical.")
+  in
+  let print_bits =
+    Arg.(
+      value & flag
+      & info [ "print-bits" ]
+          ~doc:"Print every (input, result) bit pattern pair.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ] ~doc:"Log snapshot resolution on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Build (or load) an immutable servable snapshot of generated \
+          functions and evaluate input batches against it.  A warm \
+          artifact store satisfies the snapshot with zero oracle \
+          evaluations and zero LP solves; a warm snapshot loads from a \
+          single store entry.")
+    Term.(
+      const run $ Cli.func_list_arg $ Cli.scheme_arg $ Cli.ebits_arg
+      $ Cli.prec_arg $ pieces_arg $ table_bits_arg $ count $ seed
+      $ check_scalar $ print_bits $ verbose $ Cli.jobs_arg $ Cli.cache_dir_arg
+      $ Cli.cache_stats_arg)
 
 (* ---------- oracle ---------- *)
 
@@ -309,4 +432,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "rlibm_gen" ~doc)
-          [ generate_cmd; stages_cmd; warm_cmd; oracle_cmd; cost_cmd ]))
+          [ generate_cmd; stages_cmd; warm_cmd; serve_cmd; oracle_cmd; cost_cmd ]))

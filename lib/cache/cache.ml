@@ -31,10 +31,27 @@ let dir () =
 
 let set_dir d = forced_dir := Some d
 
+(* Process-local persistence override: checked before the environment,
+   so tests and embedders can turn the store off (or force it on) for a
+   scope without mutating the process environment — [Unix.putenv] is
+   global, races with concurrent domains, and leaks into child
+   processes. *)
+let persistence_override = ref None
+
+let set_persistence o = persistence_override := o
+
 let enabled () =
-  match Sys.getenv_opt "RLIBM_NO_DISK_CACHE" with
-  | Some s when s <> "" -> false
-  | _ -> true
+  match !persistence_override with
+  | Some b -> b
+  | None -> (
+      match Sys.getenv_opt "RLIBM_NO_DISK_CACHE" with
+      | Some s when s <> "" -> false
+      | _ -> true)
+
+let with_persistence b f =
+  let prev = !persistence_override in
+  persistence_override := Some b;
+  Fun.protect ~finally:(fun () -> persistence_override := prev) f
 
 let sanitize_key key =
   String.map

@@ -48,10 +48,24 @@ val dir : unit -> string
     [RLIBM_CACHE_DIR]); created lazily on first store. *)
 val set_dir : string -> unit
 
-(** Persistence is off when [RLIBM_NO_DISK_CACHE] is set to a non-empty
-    value: loads return [None] and stores are no-ops, without touching
-    the counters. *)
+(** Persistence is off when {!set_persistence} forced it off, or —
+    absent an override — when [RLIBM_NO_DISK_CACHE] is set to a
+    non-empty value: loads return [None] and stores are no-ops, without
+    touching the counters. *)
 val enabled : unit -> bool
+
+(** [set_persistence (Some b)] forces persistence on or off for this
+    process, taking precedence over [RLIBM_NO_DISK_CACHE]; [None]
+    restores environment-controlled behaviour.  Prefer
+    {!with_persistence} for scoped use. *)
+val set_persistence : bool option -> unit
+
+(** [with_persistence b f] runs [f] with persistence forced to [b],
+    restoring the previous override on exit (also on exceptions).  The
+    process-local alternative to mutating the environment: [Unix.putenv]
+    is global, races with concurrent domains, and leaks into child
+    processes. *)
+val with_persistence : bool -> (unit -> 'a) -> 'a
 
 (** The file a key lives at: [dir ()/<sanitized key>] (characters outside
     [A-Za-z0-9._-] become [_]).  Exposed for tests and tooling that need

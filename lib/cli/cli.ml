@@ -25,6 +25,15 @@ let func_arg =
     & info [ "func"; "f" ]
         ~doc:"Function: exp, exp2, exp10, log, log2, log10.")
 
+let func_list_arg =
+  Arg.(
+    value
+    & opt_all func_conv []
+    & info [ "func"; "f" ]
+        ~doc:
+          "Function to include (repeatable: $(b,--func exp2 --func log2)); \
+           absent means all six.")
+
 let scheme_arg =
   Arg.(
     value

@@ -15,6 +15,10 @@ val func_arg : Oracle.func option Cmdliner.Term.t
 (** [--func]/[-f], optional (commands that require it check themselves;
     commands like [warm] treat absence as "every function"). *)
 
+val func_list_arg : Oracle.func list Cmdliner.Term.t
+(** Repeatable [--func]/[-f]; the empty list means "every function"
+    (commands decide — [serve] snapshots all six). *)
+
 val scheme_arg : Polyeval.scheme Cmdliner.Term.t
 (** [--scheme]/[-s], default {!Polyeval.EstrinFma}. *)
 

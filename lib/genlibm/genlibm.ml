@@ -50,37 +50,7 @@ let generate_sampled ?log ~(cfg : Rlibm.Config.t) ~scheme ~count ~seed func =
   let inputs = inputs_sampled cfg.tin ~count ~seed in
   (Rlibm.Generate.run ?log ~cfg ~scheme ~func ~inputs (), inputs)
 
-(* ---------- cache warm ---------- *)
-
-let warm_oracle_cache ?log (pairs : (Oracle.func * Rlibm.Config.t) list) =
-  (* One pair at a time on the driver: each table's per-input Ziv loops
-     already fan out across the Parallel pool inside Constraints.build,
-     so a warm run saturates the machine while the oracle memoization and
-     the Cache publish stay on the driver (the store is shared across the
-     pairs of one function at different schemes anyway). *)
-  List.map
-    (fun (func, (cfg : Rlibm.Config.t)) ->
-      let tout = Rlibm.Config.tout cfg in
-      let family =
-        Rlibm.Reduction.make func ~out_fmt:tout ~pieces:cfg.pieces
-          ~table_bits:cfg.table_bits
-      in
-      let inputs = inputs_exhaustive cfg.tin in
-      let built = Rlibm.Constraints.build ~cfg ~family ~inputs in
-      let entries = Hashtbl.length built.Rlibm.Constraints.oracle in
-      (match log with
-      | Some f ->
-          f
-            (Printf.sprintf "%s: %d oracle entries (%d-bit inputs)"
-               (Oracle.name func) entries (Softfp.width cfg.tin))
-      | None -> ());
-      (func, entries))
-    pairs
-
 (* ---------- evaluation ---------- *)
-
-let is_exp_family (f : Oracle.func) =
-  match f with Exp | Exp2 | Exp10 -> true | Log | Log2 | Log10 -> false
 
 (* The generated double-precision implementation: special table, analytic
    shortcut, then range reduction / polynomial / output compensation. *)
@@ -90,7 +60,7 @@ let eval_bits (g : t) (x : int64) =
   | Softfp.NaN -> Float.nan
   | Softfp.Inf ->
       if Softfp.sign_bit tin x then
-        if is_exp_family g.family.func then 0.0 else Float.nan
+        if Funcspec.is_exp_family g.family.func then 0.0 else Float.nan
       else Float.infinity
   | Softfp.Zero | Softfp.Subnormal | Softfp.Normal -> (
       match Hashtbl.find_opt g.specials x with

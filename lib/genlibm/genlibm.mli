@@ -44,21 +44,6 @@ val generate_sampled :
   Oracle.func ->
   (t, string) result * int64 array
 
-(** [warm_oracle_cache pairs] builds (and persists through {!Cache}) the
-    oracle table of every [(func, cfg)] pair over the exhaustive inputs
-    of [cfg.tin], returning the per-pair oracle entry counts.  The
-    per-input Ziv loops fan out across the {!Parallel} pool, so one warm
-    run at [-j N] fills the disk cache for every later generate /
-    verify / benchmark run of those configurations.
-
-    Kept for oracle-only warming; the staged pipeline's [Pipeline.warm]
-    (lib/pipeline) supersedes it — it pre-fills every stage through a
-    chosen depth, of which the oracle table is just the first. *)
-val warm_oracle_cache :
-  ?log:(string -> unit) ->
-  (Oracle.func * Rlibm.Config.t) list ->
-  (Oracle.func * int) list
-
 (** {1 Evaluation} *)
 
 (** Full implementation path on an input bit pattern of [cfg.tin],

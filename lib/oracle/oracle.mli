@@ -1,4 +1,4 @@
-(** Correctly rounded oracle for the six elementary functions of the paper.
+(** Correctly rounded oracle for the registered elementary functions.
 
     Substitute for the MPFR-based oracle (and for the precomputed oracle
     files of the artifact): each function is evaluated over exact rationals
@@ -9,9 +9,14 @@
     detected algebraically: by the Lindemann–Weierstrass and
     Gelfond–Schneider theorems, [exp x] is rational only at [x = 0],
     [2^x]/[10^x] only at integer [x], [log x] only at [x = 1], and
-    [log2 x]/[log10 x] only at exact powers of the base. *)
+    [log2 x]/[log10 x] only at exact powers of the base.
 
-type func = Exp | Exp2 | Exp10 | Log | Log2 | Log10
+    All per-function knowledge (domains, exact-value rules, enclosure
+    kernels, reduction families, presets) lives in the {!Funcspec}
+    registry; this module re-exports the function type and wraps the
+    registry's closures with the function-agnostic Ziv machinery. *)
+
+type func = Funcspec.func = Exp | Exp2 | Exp10 | Log | Log2 | Log10
 
 val all : func list
 val name : func -> string

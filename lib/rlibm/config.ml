@@ -37,19 +37,14 @@ let default_mini =
     max_specials = 8;
   }
 
-(** Per-function mini presets.  Piece counts follow the shape of Table 1
-    (exp-family functions get extra pieces; the logarithms' table-based
-    reduction already makes their reduced domain tiny), and the degree
-    search starts where the family plausibly begins — the LP proves lower
-    degrees infeasible anyway, at a cost. *)
+(** Per-function mini presets, from the registry.  Piece counts follow
+    the shape of Table 1 (exp-family functions get extra pieces; the
+    logarithms' table-based reduction already makes their reduced domain
+    tiny), and the degree search starts where the family plausibly
+    begins — the LP proves lower degrees infeasible anyway, at a cost. *)
 let mini_for (f : Oracle.func) =
-  match f with
-  | Exp -> { default_mini with pieces = 2; min_degree = 3 }
-  | Exp2 -> { default_mini with min_degree = 3 }
-  | Exp10 -> { default_mini with pieces = 2; min_degree = 3 }
-  | Log -> { default_mini with pieces = 2 }
-  | Log2 -> default_mini
-  | Log10 -> { default_mini with pieces = 2 }
+  let p = (Funcspec.get f).Funcspec.mini in
+  { default_mini with pieces = p.Funcspec.pieces; min_degree = p.Funcspec.min_degree }
 
 (** binary32 configuration (sampled generation; exhaustive float32
     enumeration is out of scope for this reproduction, see DESIGN.md).
@@ -73,6 +68,5 @@ let float32_for (f : Oracle.func) =
       max_specials = 16;
     }
   in
-  match f with
-  | Oracle.Exp | Exp2 | Exp10 -> { base with pieces = 16; min_degree = 3 }
-  | Log | Log2 | Log10 -> base
+  let p = (Funcspec.get f).Funcspec.float32 in
+  { base with pieces = p.Funcspec.pieces; min_degree = p.Funcspec.min_degree }

@@ -52,21 +52,11 @@ type t = {
       (* valid on finite inputs for which [shortcut] returned [None] *)
 }
 
-let log2e = 1.4426950408889634 (* RN(log2 e) *)
-let log2_10 = 3.321928094887362 (* RN(log2 10) *)
-let ln2 = 0.6931471805599453 (* RN(ln 2) *)
-let log10_2 = 0.30102999566398120 (* RN(log10 2) *)
-
 (* ---------- exponential family ---------- *)
 
-let exp_family func ~out_fmt ~pieces =
-  let scale =
-    match (func : Oracle.func) with
-    | Exp -> log2e
-    | Exp2 -> 1.0
-    | Exp10 -> log2_10
-    | Log | Log2 | Log10 -> invalid_arg "Reduction.exp_family"
-  in
+(* [scale] is the family's log2_base from the registry: RN(log2 e),
+   1.0 or RN(log2 10) for the paper's three exponentials. *)
+let exp_family func ~scale ~out_fmt ~pieces =
   let emax = float_of_int (Softfp.emax out_fmt) in
   let emin = Softfp.emin out_fmt and prec = out_fmt.Softfp.prec in
   let lo_cut = float_of_int (emin - prec) -. 1.1 in
@@ -116,6 +106,16 @@ let exp_family func ~out_fmt ~pieces =
    otherwise have to recompute just to rebuild the reduction closures. *)
 let table_cache : (string * int, float array) Hashtbl.t = Hashtbl.create 8
 
+(* Pre-seed the in-process table memo — the servable-snapshot layer
+   carries the tables inside its artifact so a snapshot load never has
+   to touch the table store (or, worse, the oracle) to rebuild the
+   reduction closures.  Mis-sized tables are rejected: the memo must
+   only ever hold tables the keyed computation would produce. *)
+let install_table func ~table_bits table =
+  if Array.length table <> 1 lsl table_bits then
+    invalid_arg "Reduction.install_table: wrong table size";
+  Hashtbl.replace table_cache (Oracle.name func, table_bits) table
+
 let log_table func ~table_bits =
   let key = (Oracle.name func, table_bits) in
   match Hashtbl.find_opt table_cache key with
@@ -142,10 +142,9 @@ let log_table func ~table_bits =
       Hashtbl.replace table_cache key t;
       t
 
-let log_family func ~pieces ~table_bits =
-  (match (func : Oracle.func) with
-  | Log | Log2 | Log10 -> ()
-  | Exp | Exp2 | Exp10 -> invalid_arg "Reduction.log_family");
+(* [k_scale] / [k_exact] come from the registry: the per-exponent
+   constant log_b 2 and whether [k * k_scale] is exact (log2). *)
+let log_family func ~k_scale ~k_exact ~pieces ~table_bits =
   let tbl = log_table func ~table_bits in
   let tsize = float_of_int (1 lsl table_bits) in
   let shortcut x =
@@ -161,11 +160,7 @@ let log_family func ~pieces ~table_bits =
     let r = (m -. f) /. f in
     let c =
       let kf = float_of_int k in
-      match (func : Oracle.func) with
-      | Log2 -> kf +. tbl.(j)
-      | Log -> Float.fma kf ln2 tbl.(j)
-      | Log10 -> Float.fma kf log10_2 tbl.(j)
-      | _ -> assert false
+      if k_exact then kf +. tbl.(j) else Float.fma kf k_scale tbl.(j)
     in
     let piece =
       Stdlib.min (pieces - 1)
@@ -178,19 +173,12 @@ let log_family func ~pieces ~table_bits =
       oc_inv = (fun q -> Rat.sub q (Rat.of_float c));
     }
   in
-  let params =
-    let k_scale, k_exact =
-      match (func : Oracle.func) with
-      | Log2 -> (1.0, true)
-      | Log -> (ln2, false)
-      | Log10 -> (log10_2, false)
-      | _ -> assert false
-    in
-    Log_params { table_bits; table = tbl; k_scale; k_exact }
-  in
+  let params = Log_params { table_bits; table = tbl; k_scale; k_exact } in
   { func; pieces; params; shortcut; reduce }
 
 let make func ~out_fmt ~pieces ~table_bits =
-  match (func : Oracle.func) with
-  | Exp | Exp2 | Exp10 -> exp_family func ~out_fmt ~pieces
-  | Log | Log2 | Log10 -> log_family func ~pieces ~table_bits
+  match (Funcspec.get func).Funcspec.family with
+  | Funcspec.Exp_family { log2_base } ->
+      exp_family func ~scale:log2_base ~out_fmt ~pieces
+  | Funcspec.Log_family { k_scale; k_exact } ->
+      log_family func ~k_scale ~k_exact ~pieces ~table_bits

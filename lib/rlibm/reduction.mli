@@ -48,7 +48,16 @@ type t = {
 }
 
 (** [make func ~out_fmt ~pieces ~table_bits] builds the reduction family
-    for [func]; [out_fmt] fixes the overflow/underflow thresholds of the
-    shortcut, [table_bits] the logarithm table size [J]. *)
+    for [func], dispatching on the {!Funcspec} registry's family record;
+    [out_fmt] fixes the overflow/underflow thresholds of the shortcut,
+    [table_bits] the logarithm table size [J]. *)
 val make :
   Oracle.func -> out_fmt:Softfp.fmt -> pieces:int -> table_bits:int -> t
+
+(** [install_table func ~table_bits table] pre-seeds the in-process
+    memo of the logarithm reduction table, so {!make} rebuilds the
+    reduction without touching the table store or the oracle — the
+    servable-snapshot layer ships tables inside its artifact and
+    installs them before assembling.
+    @raise Invalid_argument when [table] is not [2^table_bits] long. *)
+val install_table : Oracle.func -> table_bits:int -> float array -> unit

@@ -1,0 +1,157 @@
+(* Servable libm snapshot.  See serve.mli for the contract.
+
+   The persisted payload is a list of closure-free stored entries: the
+   request triple, the polynomial stage's solved record, and — for the
+   logarithm family — the reduction table, so a warm load touches
+   exactly one store entry and rebuilds everything else locally
+   (Polyeval.of_data + Reduction.make over the pre-seeded table memo). *)
+
+type entry = {
+  e_func : Oracle.func;
+  e_scheme : Polyeval.scheme;
+  e_cfg : Rlibm.Config.t;
+  e_impl : Genlibm.t;
+}
+
+type t = { t_key : string; t_entries : entry list }
+
+(* Marshal-stable stored form.  Every field is scalar data: the func and
+   scheme are constant constructors, the config a record of ints and
+   formats, the solved record float/int arrays, the table a float
+   array.  Bump [snapshot_version] whenever this layout changes. *)
+type stored_entry = {
+  se_func : Oracle.func;
+  se_scheme : Polyeval.scheme;
+  se_cfg : Rlibm.Config.t;
+  se_solved : Rlibm.Generate.solved;
+  se_table : float array option;  (* log-family reduction table *)
+}
+
+let snapshot_version = 1
+
+let snapshot_key specs =
+  let polys =
+    List.map (fun (f, scheme, cfg) -> Pipeline.poly_key ~cfg ~scheme f) specs
+  in
+  (* MD5 of the joined per-entry poly keys: those keys already pin every
+     upstream knob and stage-layout version, and the digest keeps the
+     store filename bounded for large snapshots. *)
+  Printf.sprintf "snapshot-%de-%s-v%d" (List.length specs)
+    (Digest.to_hex (Digest.string (String.concat "\n" polys)))
+    snapshot_version
+
+let key t = t.t_key
+let entries t = t.t_entries
+let find t func = List.find_opt (fun e -> e.e_func = func) t.t_entries
+
+(* Canonical closure-free form of an assembled implementation.  The
+   specials are sorted by input bits: the hash table they rebuild into
+   is order-insensitive, and sorting makes the stored blob a pure
+   function of the entry's content. *)
+let solved_of_generated (g : Rlibm.Generate.generated) : Rlibm.Generate.solved
+    =
+  let specials =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) g.Rlibm.Generate.specials []
+    |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+  in
+  {
+    Rlibm.Generate.sv_data =
+      Array.map
+        (fun (p : Polyeval.compiled) -> p.Polyeval.data)
+        g.Rlibm.Generate.pieces;
+    sv_degrees = g.Rlibm.Generate.degrees;
+    sv_rounds = g.Rlibm.Generate.rounds;
+    sv_n_constraints = g.Rlibm.Generate.n_constraints;
+    sv_specials = specials;
+  }
+
+let table_of_generated (g : Rlibm.Generate.generated) =
+  match g.Rlibm.Generate.family.Rlibm.Reduction.params with
+  | Rlibm.Reduction.Exp_params _ -> None
+  | Rlibm.Reduction.Log_params { table; _ } -> Some table
+
+(* Rebuild the runnable entry from stored data only: pre-seed the
+   reduction-table memo, then assemble.  The oracle table attached to
+   the implementation is empty — serving never consults it (eval_bits
+   reads the special table, the shortcut and the polynomial), and
+   verification workflows go through the pipeline, not a snapshot.
+   @raise Invalid_argument on foreign data (via Generate.assemble). *)
+let assemble_stored (se : stored_entry) =
+  (match se.se_table with
+  | Some tbl ->
+      Rlibm.Reduction.install_table se.se_func
+        ~table_bits:se.se_cfg.Rlibm.Config.table_bits tbl
+  | None -> ());
+  let impl =
+    Rlibm.Generate.assemble ~cfg:se.se_cfg ~scheme:se.se_scheme
+      ~func:se.se_func ~oracle:(Hashtbl.create 1) se.se_solved
+  in
+  {
+    e_func = se.se_func;
+    e_scheme = se.se_scheme;
+    e_cfg = se.se_cfg;
+    e_impl = impl;
+  }
+
+(* A stored snapshot is only trusted when every entry matches its
+   request exactly — a digest collision or a stale layout must fall
+   back to a rebuild, never serve the wrong function. *)
+let stored_matches specs stored =
+  List.length specs = List.length stored
+  && List.for_all2
+       (fun (f, scheme, cfg) se ->
+         se.se_func = f && se.se_scheme = scheme && se.se_cfg = cfg)
+       specs stored
+
+let build ?log specs =
+  let key = snapshot_key specs in
+  let logf s = match log with Some f -> f s | None -> () in
+  let rebuild () =
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | (f, scheme, cfg) :: rest -> (
+          match Pipeline.generate ?log ~cfg ~scheme f with
+          | Error msg ->
+              Error
+                (Printf.sprintf "%s/%s: %s" (Oracle.name f)
+                   (Polyeval.scheme_name scheme) msg)
+          | Ok g ->
+              let se =
+                {
+                  se_func = f;
+                  se_scheme = scheme;
+                  se_cfg = cfg;
+                  se_solved = solved_of_generated g;
+                  se_table = table_of_generated g;
+                }
+              in
+              resolve (se :: acc) rest)
+    in
+    match resolve [] specs with
+    | Error _ as e -> e
+    | Ok stored ->
+        Cache.store ~kind:"snapshot" ~key stored;
+        logf (Printf.sprintf "snapshot %s: resolved and persisted" key);
+        Ok { t_key = key; t_entries = List.map assemble_stored stored }
+  in
+  match (Cache.load ~kind:"snapshot" ~key : stored_entry list option) with
+  | Some stored when stored_matches specs stored -> (
+      try
+        let t = { t_key = key; t_entries = List.map assemble_stored stored } in
+        logf (Printf.sprintf "snapshot %s: loaded" key);
+        Ok t
+      with Invalid_argument _ ->
+        logf (Printf.sprintf "snapshot %s: stale stored entry; rebuilding" key);
+        rebuild ())
+  | Some _ ->
+      logf (Printf.sprintf "snapshot %s: stored entries mismatch; rebuilding" key);
+      rebuild ()
+  | None -> rebuild ()
+
+let eval_batch t func inputs =
+  match find t func with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Serve.eval_batch: %s is not in this snapshot"
+           (Oracle.name func))
+  | Some e -> Parallel.map_array (fun x -> Genlibm.eval_bits e.e_impl x) inputs

@@ -1,0 +1,69 @@
+(** Servable libm snapshot: an immutable, persisted bundle of verified
+    generated functions, loadable without touching the oracle, the LP
+    solver, or even the per-stage artifacts.
+
+    A snapshot is built from a list of [(func, scheme, cfg)] requests.
+    Each request resolves through {!Pipeline.generate} — a warm artifact
+    store satisfies it from the persisted polynomial stage (zero oracle
+    evaluations, zero LP solves); a cold store runs the full staged
+    pipeline once.  The resolved snapshot is then persisted through
+    {!Cache} under kind ["snapshot"] as closure-free data
+    ({!Rlibm.Generate.solved} records plus the logarithm reduction
+    tables), keyed by a digest of every entry's polynomial-stage key —
+    any knob change anywhere upstream changes the snapshot key.
+
+    Loading a warm snapshot therefore reads exactly one store entry:
+    the reduction tables ship inside the artifact and are pre-seeded
+    with {!Rlibm.Reduction.install_table}, so assembly never consults
+    the table store or the oracle.
+
+    {!eval_batch} fans a batch of input bit patterns out over the
+    {!Parallel} pool.  The per-input function is {!Genlibm.eval_bits} of
+    the entry's assembled implementation, and the {!Parallel}
+    determinism contract applies: results are bit-identical for every
+    job count, and [-j 1] takes the exact sequential code path. *)
+
+(** One served function: the request that produced it and the assembled
+    runnable implementation. *)
+type entry = {
+  e_func : Oracle.func;
+  e_scheme : Polyeval.scheme;
+  e_cfg : Rlibm.Config.t;
+  e_impl : Genlibm.t;
+}
+
+(** An immutable snapshot (a set of entries plus its store key). *)
+type t
+
+(** The store key a request list resolves to: a digest over every
+    entry's {!Pipeline.poly_key}, so the key pins function set, order,
+    schemes, formats, generation knobs and all upstream stage layout
+    versions.  Exposed for tests and tooling (pair with
+    {!Cache.path_of_key}). *)
+val snapshot_key :
+  (Oracle.func * Polyeval.scheme * Rlibm.Config.t) list -> string
+
+(** [build specs] loads the persisted snapshot for [specs] if present
+    (validating that every stored entry matches its request), otherwise
+    resolves each request through {!Pipeline.generate} and persists the
+    result.  [Error] reports the first request whose generation failed;
+    nothing is persisted in that case. *)
+val build :
+  ?log:(string -> unit) ->
+  (Oracle.func * Polyeval.scheme * Rlibm.Config.t) list ->
+  (t, string) result
+
+val key : t -> string
+
+(** Entries in request order. *)
+val entries : t -> entry list
+
+(** The first entry serving [func], if any. *)
+val find : t -> Oracle.func -> entry option
+
+(** [eval_batch t func inputs] evaluates the served implementation of
+    [func] on every input bit pattern, fanned out over the {!Parallel}
+    pool; bit-identical at every job count ([-j 1] is the exact
+    sequential path).
+    @raise Invalid_argument when the snapshot does not serve [func]. *)
+val eval_batch : t -> Oracle.func -> int64 array -> float array

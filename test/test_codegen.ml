@@ -1,0 +1,177 @@
+(* Codegen coverage: golden-snapshot tests for the emitted C and OCaml
+   (an exponential and a piecewise logarithm), hex-literal round-trips,
+   and a compile smoke of the emitted C when a C compiler is on PATH.
+
+   The goldens live in test/golden/*.golden and are committed:
+   generation is deterministic (seeded RNG, fixed knobs), so the emitted
+   source is a pure function of this case list.  After an intentional
+   codegen change, regenerate with
+
+     dune exec test/gen_golden.exe
+
+   review the diff and commit it.  Keep [cases] in sync with
+   gen_golden.ml. *)
+
+let tiny_cfg =
+  {
+    Rlibm.Config.default_mini with
+    Rlibm.Config.tin = Softfp.make_fmt ~ebits:4 ~prec:7;
+    table_bits = 3;
+    max_specials = 40;
+    max_rounds = 20;
+  }
+
+(* Two pieces force the piecewise emission branch of both backends. *)
+let piecewise_log_cfg = { tiny_cfg with Rlibm.Config.pieces = 2 }
+
+let cases =
+  [
+    ("exp_estrin_fma", Oracle.Exp, Polyeval.EstrinFma, tiny_cfg);
+    ("log2_piecewise", Oracle.Log2, Polyeval.Horner, piecewise_log_cfg);
+  ]
+
+let gen_cache : (string, Rlibm.Generate.generated) Hashtbl.t = Hashtbl.create 4
+
+let generate_case (name, func, scheme, cfg) =
+  match Hashtbl.find_opt gen_cache name with
+  | Some g -> g
+  | None -> (
+      match
+        Cache.with_persistence false (fun () ->
+            Genlibm.generate ~cfg ~scheme func)
+      with
+      | Error msg -> Alcotest.failf "%s: generation failed: %s" name msg
+      | Ok g ->
+          Hashtbl.replace gen_cache name g;
+          g)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* dune runtest runs in _build/default/test (goldens staged via the
+   stanza's deps); dune exec from the workspace root sees test/golden. *)
+let golden_path file =
+  let rel = Filename.concat "golden" file in
+  if Sys.file_exists rel then rel else Filename.concat "test" rel
+
+let check_golden name src =
+  let path = golden_path (name ^ ".golden") in
+  if not (Sys.file_exists path) then
+    Alcotest.failf
+      "missing golden snapshot %s — generate it with: dune exec \
+       test/gen_golden.exe"
+      path;
+  if src <> read_file path then
+    Alcotest.failf
+      "%s drifted from its golden snapshot; if the change is intentional, \
+       regenerate with: dune exec test/gen_golden.exe — and review the diff"
+      name
+
+let emitted_name func = "rlibm_" ^ Oracle.name func
+
+let test_golden (((name, func, _, _) as case) : string * _ * _ * _) lang () =
+  let g = generate_case case in
+  match lang with
+  | `C -> check_golden (name ^ ".c") (Codegen.to_c g ~name:(emitted_name func))
+  | `Ml ->
+      check_golden (name ^ ".ml") (Codegen.to_ocaml g ~name:(emitted_name func))
+
+(* Every constant of the generated implementation — polynomial
+   coefficients and reduction-table entries — must survive the
+   hex-literal round trip: print with %h, parse back, compare bits.
+   This is the property that makes the emitted source bit-faithful. *)
+let test_hex_roundtrip () =
+  let check_const label v =
+    let printed = Printf.sprintf "%h" v in
+    let back = float_of_string printed in
+    Alcotest.(check int64) label (Int64.bits_of_float v)
+      (Int64.bits_of_float back)
+  in
+  List.iter
+    (fun (((name, _, _, _) as case) : string * _ * _ * _) ->
+      let g = generate_case case in
+      Array.iteri
+        (fun pi (piece : Polyeval.compiled) ->
+          Array.iteri
+            (fun ci c ->
+              check_const (Printf.sprintf "%s piece %d c%d" name pi ci) c)
+            piece.Polyeval.data)
+        g.Rlibm.Generate.pieces;
+      match g.Rlibm.Generate.family.Rlibm.Reduction.params with
+      | Rlibm.Reduction.Log_params { table; _ } ->
+          Array.iteri
+            (fun i t -> check_const (Printf.sprintf "%s tbl[%d]" name i) t)
+            table
+      | Rlibm.Reduction.Exp_params { log2_base } ->
+          check_const (name ^ " log2_base") log2_base)
+    cases
+
+(* Emitted constants appear verbatim in both backends (same %h text). *)
+let test_constants_emitted () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (((name, func, _, _) as case) : string * _ * _ * _) ->
+      let g = generate_case case in
+      let c_src = Codegen.to_c g ~name:(emitted_name func) in
+      let ml_src = Codegen.to_ocaml g ~name:(emitted_name func) in
+      Array.iter
+        (fun (piece : Polyeval.compiled) ->
+          Array.iter
+            (fun coef ->
+              let lit = Printf.sprintf "%h" coef in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: %s in C" name lit)
+                true (contains c_src lit);
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: %s in OCaml" name lit)
+                true (contains ml_src lit))
+            piece.Polyeval.data)
+        g.Rlibm.Generate.pieces)
+    cases
+
+(* Compile smoke: the emitted C must be an accepted C99 translation
+   unit.  Silently skipped when no C compiler is on PATH (the container
+   guarantees the OCaml toolchain only). *)
+let test_c_compiles () =
+  if Sys.command "command -v cc >/dev/null 2>&1" <> 0 then ()
+  else
+    List.iter
+      (fun (((name, func, _, _) as case) : string * _ * _ * _) ->
+        let g = generate_case case in
+        let src = Codegen.to_c g ~name:(emitted_name func) in
+        let c_file = Filename.temp_file "rlibm_codegen" ".c" in
+        let o_file = Filename.temp_file "rlibm_codegen" ".o" in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Sys.remove c_file with Sys_error _ -> ());
+            try Sys.remove o_file with Sys_error _ -> ())
+          (fun () ->
+            Out_channel.with_open_bin c_file (fun oc ->
+                Out_channel.output_string oc src);
+            let rc =
+              Sys.command
+                (Printf.sprintf "cc -std=c99 -Wall -c %s -o %s"
+                   (Filename.quote c_file) (Filename.quote o_file))
+            in
+            Alcotest.(check int) (name ^ " compiles") 0 rc))
+      cases
+
+let suite =
+  let golden_tests =
+    List.concat_map
+      (fun ((name, _, _, _) as case) ->
+        [
+          (name ^ ".c matches golden", `Slow, test_golden case `C);
+          (name ^ ".ml matches golden", `Slow, test_golden case `Ml);
+        ])
+      cases
+  in
+  golden_tests
+  @ [
+      ("hex literals round-trip", `Slow, test_hex_roundtrip);
+      ("constants emitted verbatim", `Slow, test_constants_emitted);
+      ("emitted C compiles (cc smoke)", `Slow, test_c_compiles);
+    ]

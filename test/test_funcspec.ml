@@ -1,0 +1,144 @@
+(* The function-spec registry: the single place that knows the paper's
+   six functions.  These tests pin the registry's invariants — name
+   round-trips, family classification, per-family constants, preset
+   plumbing into Config — so a future function family only has to get
+   its one registry entry right. *)
+
+let all_funcs = Funcspec.all
+
+let test_registry_complete () =
+  Alcotest.(check int) "six functions" 6 (List.length all_funcs);
+  (* every entry's spec is keyed by its own constructor *)
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Funcspec.name f ^ " spec self-keyed")
+        true
+        ((Funcspec.get f).Funcspec.func = f))
+    all_funcs
+
+let test_name_roundtrip () =
+  List.iter
+    (fun f ->
+      match Funcspec.of_name (Funcspec.name f) with
+      | Some f' -> Alcotest.(check bool) (Funcspec.name f) true (f = f')
+      | None -> Alcotest.failf "%s did not round-trip" (Funcspec.name f))
+    all_funcs;
+  (* aliases resolve too *)
+  Alcotest.(check bool) "ln -> log" true (Funcspec.of_name "ln" = Some Funcspec.Log);
+  Alcotest.(check bool) "unknown rejected" true (Funcspec.of_name "tan" = None)
+
+let test_family_classification () =
+  let exp_side = [ Funcspec.Exp; Funcspec.Exp2; Funcspec.Exp10 ] in
+  let log_side = [ Funcspec.Log; Funcspec.Log2; Funcspec.Log10 ] in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (Funcspec.name f) true (Funcspec.is_exp_family f))
+    exp_side;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Funcspec.name f)
+        false
+        (Funcspec.is_exp_family f))
+    log_side;
+  (* the exp family's range-shortcut scale is its log2 base; the log
+     family has none *)
+  Alcotest.(check (option (float 0.0))) "exp scale" (Some 1.4426950408889634)
+    (Funcspec.log2_scale Funcspec.Exp);
+  Alcotest.(check (option (float 0.0))) "exp2 scale" (Some 1.0)
+    (Funcspec.log2_scale Funcspec.Exp2);
+  Alcotest.(check (option (float 0.0))) "exp10 scale" (Some 3.321928094887362)
+    (Funcspec.log2_scale Funcspec.Exp10);
+  List.iter
+    (fun f ->
+      Alcotest.(check (option (float 0.0)))
+        (Funcspec.name f) None (Funcspec.log2_scale f))
+    log_side
+
+let test_family_constants () =
+  (* the log family's per-exponent constant log_b 2, and whether
+     k * k_scale is exact (true only for log2's k * 1.0) *)
+  let k_of f =
+    match (Funcspec.get f).Funcspec.family with
+    | Funcspec.Log_family { k_scale; k_exact } -> (k_scale, k_exact)
+    | Funcspec.Exp_family _ -> Alcotest.failf "%s is not a log" (Funcspec.name f)
+  in
+  Alcotest.(check (pair (float 0.0) bool)) "log" (0.6931471805599453, false)
+    (k_of Funcspec.Log);
+  Alcotest.(check (pair (float 0.0) bool)) "log2" (1.0, true)
+    (k_of Funcspec.Log2);
+  Alcotest.(check (pair (float 0.0) bool)) "log10" (0.30102999566398120, false)
+    (k_of Funcspec.Log10)
+
+let test_domain_and_exact () =
+  let spec f = Funcspec.get f in
+  (* exponentials are total; logarithms need x > 0 *)
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "exp domain" true
+        ((spec f).Funcspec.domain_ok (Rat.of_int (-7))))
+    [ Funcspec.Exp; Funcspec.Exp2; Funcspec.Exp10 ];
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "log rejects 0" false
+        ((spec f).Funcspec.domain_ok Rat.zero);
+      Alcotest.(check bool) "log rejects negative" false
+        ((spec f).Funcspec.domain_ok (Rat.of_int (-1)));
+      Alcotest.(check bool) "log accepts positive" true
+        ((spec f).Funcspec.domain_ok (Rat.of_ints 3 2)))
+    [ Funcspec.Log; Funcspec.Log2; Funcspec.Log10 ];
+  (* exact-value rules: 2^3, log2 8, log10 100, 10^2 are exact *)
+  let exact f q =
+    match (spec f).Funcspec.exact_value q with
+    | Some v -> Rat.to_string v
+    | None -> "<inexact>"
+  in
+  Alcotest.(check string) "2^3" "8" (exact Funcspec.Exp2 (Rat.of_int 3));
+  Alcotest.(check string) "log2 8" "3" (exact Funcspec.Log2 (Rat.of_int 8));
+  Alcotest.(check string) "log10 100" "2" (exact Funcspec.Log10 (Rat.of_int 100));
+  Alcotest.(check string) "10^2" "100" (exact Funcspec.Exp10 (Rat.of_int 2));
+  Alcotest.(check string) "e^1 inexact" "<inexact>"
+    (exact Funcspec.Exp Rat.one)
+
+let test_oracle_delegates () =
+  (* Oracle's public dispatchers are the registry's: same membership,
+     same names, same domain verdicts, same enclosures. *)
+  Alcotest.(check int) "Oracle.all" (List.length all_funcs)
+    (List.length Oracle.all);
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "name" (Funcspec.name f) (Oracle.name f);
+      let q = Rat.of_ints 5 4 in
+      let a = Ival.to_rats (Funcspec.((get f).enclosure) q ~prec:64) in
+      let b = Ival.to_rats (Oracle.enclosure f q ~prec:64) in
+      Alcotest.(check bool) "enclosure" true
+        (Rat.compare (fst a) (fst b) = 0 && Rat.compare (snd a) (snd b) = 0))
+    all_funcs
+
+let test_config_presets () =
+  (* Config's per-function presets come from the registry records *)
+  List.iter
+    (fun f ->
+      let p = (Funcspec.get f).Funcspec.mini in
+      let cfg = Rlibm.Config.mini_for f in
+      Alcotest.(check int) (Funcspec.name f ^ " mini pieces")
+        p.Funcspec.pieces cfg.Rlibm.Config.pieces;
+      Alcotest.(check int) (Funcspec.name f ^ " mini min_degree")
+        p.Funcspec.min_degree cfg.Rlibm.Config.min_degree;
+      let p32 = (Funcspec.get f).Funcspec.float32 in
+      let cfg32 = Rlibm.Config.float32_for f in
+      Alcotest.(check int) (Funcspec.name f ^ " f32 pieces")
+        p32.Funcspec.pieces cfg32.Rlibm.Config.pieces)
+    all_funcs
+
+let suite =
+  [
+    ("registry complete and self-keyed", `Quick, test_registry_complete);
+    ("name round-trip and aliases", `Quick, test_name_roundtrip);
+    ("family classification", `Quick, test_family_classification);
+    ("log-family constants", `Quick, test_family_constants);
+    ("domains and exact values", `Quick, test_domain_and_exact);
+    ("oracle delegates to registry", `Quick, test_oracle_delegates);
+    ("config presets from registry", `Quick, test_config_presets);
+  ]

@@ -8,16 +8,18 @@ let () =
       ("softfp", Test_softfp.suite);
       ("fparith", Test_fparith.suite);
       ("dyadic", Test_dyadic.suite);
+      ("funcspec", Test_funcspec.suite);
       ("oracle", Test_oracle.suite);
       ("lp", Test_lp.suite);
       ("polyeval", Test_polyeval.suite);
       ("rlibm", Test_rlibm.suite);
       ("genlibm", Test_genlibm.suite);
-      (* Needs the disk cache enabled, so it must precede the parallel
-         suite (see below). *)
+      ("codegen", Test_codegen.suite);
       ("cache", Test_cache.suite);
       ("pipeline", Test_pipeline.suite);
-      (* Last: the determinism tests disable the oracle disk cache for
-         the rest of the process. *)
+      ("serve", Test_serve.suite);
+      (* The determinism tests disable store persistence with the scoped
+         Cache.with_persistence override, so suite order no longer
+         matters for cache state. *)
       ("parallel", Test_parallel.suite);
     ]

@@ -188,12 +188,10 @@ let prop_correctly_round_brackets =
          direct enclosure (rather than the range shortcut) is exercised,
          and the logarithms positive *)
       let q =
-        match f with
-        | Oracle.Log | Oracle.Log2 | Oracle.Log10 -> Rat.abs q
-        | Oracle.Exp | Oracle.Exp2 | Oracle.Exp10 ->
-            if Rat.compare (Rat.abs q) (Rat.of_int 30) > 0 then
-              Rat.div q (Rat.of_int 40_000)
-            else q
+        if not (Funcspec.is_exp_family f) then Rat.abs q
+        else if Rat.compare (Rat.abs q) (Rat.of_int 30) > 0 then
+          Rat.div q (Rat.of_int 40_000)
+        else q
       in
       return (f, q))
   in

@@ -148,13 +148,14 @@ let generate_at ~jobs func scheme =
 
 let check_determinism func scheme () =
   (* Keep the disk cache out of the picture: a warm file would let the
-     second run skip the parallel oracle computation entirely. *)
-  Unix.putenv "RLIBM_NO_DISK_CACHE" "1";
+     second run skip the parallel oracle computation entirely.  The
+     scoped override (not [Unix.putenv]) keeps the disabling local to
+     this test and safe under concurrent domains. *)
   let (coeffs1, degrees1, specials1, oracle1), rep1 =
-    generate_at ~jobs:1 func scheme
+    Cache.with_persistence false (fun () -> generate_at ~jobs:1 func scheme)
   in
   let (coeffs4, degrees4, specials4, oracle4), rep4 =
-    generate_at ~jobs:4 func scheme
+    Cache.with_persistence false (fun () -> generate_at ~jobs:4 func scheme)
   in
   Alcotest.(check (list int64)) "coefficient bits" coeffs1 coeffs4;
   Alcotest.(check (list int)) "degrees" degrees1 degrees4;

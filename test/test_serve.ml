@@ -1,0 +1,146 @@
+(* The servable snapshot layer: build / persist / load round-trips, the
+   warm-load store footprint (exactly one snapshot entry, no oracle or
+   polynomial stage activity), and the batched evaluator's determinism
+   contract (bit-identical to scalar eval_bits at every job count). *)
+
+let tiny_cfg =
+  {
+    Rlibm.Config.default_mini with
+    Rlibm.Config.tin = Softfp.make_fmt ~ebits:4 ~prec:7;
+    table_bits = 3;
+    max_specials = 40;
+    max_rounds = 20;
+  }
+
+let tiny = tiny_cfg.Rlibm.Config.tin
+
+let specs =
+  [
+    (Oracle.Exp2, Polyeval.EstrinFma, tiny_cfg);
+    (Oracle.Log2, Polyeval.Horner, tiny_cfg);
+  ]
+
+let fresh_cache_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "rlibm-serve-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+(* Point the store at a fresh directory for the scope of [f], restoring
+   the previous directory afterwards. *)
+let with_cache_dir f =
+  let prev = Cache.dir () in
+  let dir = fresh_cache_dir () in
+  Cache.set_dir dir;
+  Fun.protect ~finally:(fun () -> Cache.set_dir prev) (fun () -> f dir)
+
+let with_jobs j f =
+  let prev = Parallel.jobs () in
+  Parallel.set_jobs j;
+  Fun.protect ~finally:(fun () -> Parallel.set_jobs prev) f
+
+let build_ok specs =
+  match Serve.build specs with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "snapshot build failed: %s" msg
+
+let bits_of = Array.map Int64.bits_of_float
+
+let test_cold_warm_roundtrip () =
+  with_cache_dir (fun _dir ->
+      let cold = build_ok specs in
+      Alcotest.(check int) "entries" 2 (List.length (Serve.entries cold));
+      let inputs = Genlibm.inputs_exhaustive tiny in
+      let out_cold = Serve.eval_batch cold Oracle.Exp2 inputs in
+      (* Second build: must load from the store, touching exactly one
+         entry of exactly one kind — no oracle, interval, constraint or
+         polynomial stage activity of any sort. *)
+      Cache.reset_stats ();
+      let warm = build_ok specs in
+      (match Cache.stats_by_kind () with
+      | [ ("snapshot", s) ] ->
+          Alcotest.(check int) "snapshot hits" 1 s.Cache.hits;
+          Alcotest.(check int) "snapshot misses" 0 s.Cache.misses
+      | kinds ->
+          Alcotest.failf "warm load touched kinds [%s]"
+            (String.concat "; " (List.map fst kinds)));
+      let out_warm = Serve.eval_batch warm Oracle.Exp2 inputs in
+      Alcotest.(check bool) "warm results bit-identical" true
+        (bits_of out_cold = bits_of out_warm);
+      let out_log = Serve.eval_batch warm Oracle.Log2 inputs in
+      Alcotest.(check int) "log batch length" (Array.length inputs)
+        (Array.length out_log))
+
+let test_batch_matches_scalar_at_any_j () =
+  with_cache_dir (fun _dir ->
+      let snap = build_ok specs in
+      let inputs = Genlibm.inputs_exhaustive tiny in
+      List.iter
+        (fun func ->
+          let e =
+            match Serve.find snap func with
+            | Some e -> e
+            | None -> Alcotest.failf "%s missing" (Oracle.name func)
+          in
+          let scalar =
+            Array.map (fun x -> Genlibm.eval_bits e.Serve.e_impl x) inputs
+          in
+          let b1 =
+            with_jobs 1 (fun () -> Serve.eval_batch snap func inputs)
+          in
+          let b4 =
+            with_jobs 4 (fun () -> Serve.eval_batch snap func inputs)
+          in
+          Alcotest.(check bool)
+            (Oracle.name func ^ " -j1 = scalar")
+            true
+            (bits_of b1 = bits_of scalar);
+          Alcotest.(check bool)
+            (Oracle.name func ^ " -j4 = -j1")
+            true
+            (bits_of b4 = bits_of b1))
+        [ Oracle.Exp2; Oracle.Log2 ])
+
+let test_unknown_func_rejected () =
+  with_cache_dir (fun _dir ->
+      let snap = build_ok [ (Oracle.Exp2, Polyeval.Horner, tiny_cfg) ] in
+      Alcotest.check_raises "not in snapshot"
+        (Invalid_argument "Serve.eval_batch: log10 is not in this snapshot")
+        (fun () ->
+          ignore (Serve.eval_batch snap Oracle.Log10 [| 0L |] : float array)))
+
+let test_key_pins_knobs () =
+  let k = Serve.snapshot_key specs in
+  Alcotest.(check string) "key is deterministic" k (Serve.snapshot_key specs);
+  let other_scheme =
+    [
+      (Oracle.Exp2, Polyeval.Horner, tiny_cfg);
+      (Oracle.Log2, Polyeval.Horner, tiny_cfg);
+    ]
+  in
+  Alcotest.(check bool) "scheme changes key" true
+    (k <> Serve.snapshot_key other_scheme);
+  let other_cfg =
+    [
+      (Oracle.Exp2, Polyeval.EstrinFma, { tiny_cfg with Rlibm.Config.pieces = 3 });
+      (Oracle.Log2, Polyeval.Horner, tiny_cfg);
+    ]
+  in
+  Alcotest.(check bool) "config changes key" true
+    (k <> Serve.snapshot_key other_cfg);
+  Alcotest.(check bool) "order changes key" true
+    (k <> Serve.snapshot_key (List.rev specs))
+
+let suite =
+  [
+    ("snapshot key pins every knob", `Quick, test_key_pins_knobs);
+    ("cold build / warm load round-trip", `Slow, test_cold_warm_roundtrip);
+    ("batch = scalar at -j 1 and -j 4", `Slow, test_batch_matches_scalar_at_any_j);
+    ("unknown function rejected", `Slow, test_unknown_func_rejected);
+  ]

@@ -2,9 +2,11 @@
 # Tier-1 gate for every PR: build, run the full test suite, smoke-check
 # the parallel determinism contract (-j 1 output must be bit-identical to
 # -j N), smoke-check that a poisoned oracle cache is rejected and
-# regenerated without changing a single output bit, and smoke-check the
+# regenerated without changing a single output bit, smoke-check the
 # staged pipeline (cold run vs warm run vs interrupted-then-resumed run:
-# bit-identical output, zero stage rebuilds when warm).
+# bit-identical output, zero stage rebuilds when warm), and smoke-check
+# the servable snapshot layer (batched eval bit-identical to scalar at
+# -j 1 and -j N; a warm snapshot loads from exactly one store entry).
 # Usage: tools/check.sh [N]   (N = fan-out width, default 4)
 set -eu
 
@@ -93,5 +95,32 @@ RLIBM_CACHE_DIR="$resumedir" dune exec --no-build bin/rlibm_gen.exe -- generate 
   --func exp2 --scheme estrin-fma --ebits 4 --prec 7 --verify > "$resumedg"
 diff "$coldg" "$resumedg"
 echo "interrupted run resumed from stage 3, output bit-identical"
+
+echo "== servable snapshot smoke =="
+servedir=$(mktemp -d)
+serve1=$(mktemp) && serveN=$(mktemp) && servestats=$(mktemp)
+trap 'rm -f "$tmp1" "$tmpN" "$cold" "$poisoned" "$stats" \
+       "$coldg" "$warmg" "$resumedg" "$stageout" "$warmstats" \
+       "$serve1" "$serveN" "$servestats"
+     rm -rf "$cachedir" "$stagedir" "$resumedir" "$servedir"' EXIT
+# Cold build at -j 1: resolves through the pipeline, persists the
+# snapshot, and cross-checks every batched result against the scalar
+# eval path bit for bit.
+RLIBM_CACHE_DIR="$servedir" dune exec --no-build bin/rlibm_gen.exe -- serve \
+  --func exp2 --func log2 --ebits 4 --prec 7 --check-scalar -j 1 > "$serve1"
+# Warm load at -j N: stdout (per-function result digests + scalar
+# checks) must be bit-identical, and the store must be touched for
+# exactly one entry of exactly one kind — the snapshot.  Zero oracle
+# evaluations, zero LP solves, not even a per-stage artifact load.
+RLIBM_CACHE_DIR="$servedir" dune exec --no-build bin/rlibm_gen.exe -- serve \
+  --func exp2 --func log2 --ebits 4 --prec 7 --check-scalar --cache-stats \
+  -j "$N" > "$serveN" 2> "$servestats"
+diff "$serve1" "$serveN"
+grep -Eq '^ *snapshot +1 hits, 0 misses' "$servestats" \
+  || { echo "warm serve did not load the snapshot:"; cat "$servestats"; exit 1; }
+if grep -Eq '^ *(oracle|intervals|constraints|poly|verdict|table) ' "$servestats"; then
+  echo "warm serve touched per-stage artifacts:"; cat "$servestats"; exit 1
+fi
+echo "snapshot: batched eval bit-identical at -j 1 and -j $N, warm load = 1 store entry"
 
 echo "== OK =="
