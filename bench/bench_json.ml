@@ -1,0 +1,54 @@
+(* Shared envelope for every BENCH_*.json artifact the harness emits.
+
+   All bench JSON files carry the same header fields — schema_version,
+   kind, timestamp, commit, host, jobs, input_bits — so files from
+   different PRs and different modes (polynomial ns/call, staged
+   generation, serve throughput) form one comparable trajectory; only
+   the body under the kind-specific key differs.  Bump [schema_version]
+   whenever a header field changes meaning. *)
+
+let schema_version = 1
+
+let first_line cmd =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then None else Some line
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+let or_unknown = function Some s -> s | None -> "unknown"
+
+(* The commit the numbers were measured at; "unknown" outside a git
+   checkout (e.g. an exported tarball). *)
+let commit () =
+  or_unknown (first_line "git rev-parse --short HEAD 2>/dev/null")
+
+(* [write_file path ~kind ~jobs ~input_bits body] writes the envelope
+   and calls [body oc] to print the kind-specific fields.  [body] must
+   print complete ["key": value] lines, two-space indented, the last
+   one without a trailing comma. *)
+let write_file path ~kind ~jobs ~input_bits body =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema_version\": %d,\n\
+        \  \"kind\": %S,\n\
+        \  \"timestamp\": %.0f,\n\
+        \  \"commit\": %S,\n"
+        schema_version kind (Unix.time ()) (commit ());
+      Printf.fprintf oc
+        "  \"host\": {\"hostname\": %S, \"os\": %S, \"arch\": %S, \
+         \"cores\": %d, \"ocaml\": %S},\n"
+        (or_unknown (try Some (Unix.gethostname ()) with Unix.Unix_error _ -> None))
+        (or_unknown (first_line "uname -s 2>/dev/null"))
+        (or_unknown (first_line "uname -m 2>/dev/null"))
+        (Domain.recommended_domain_count ())
+        Sys.ocaml_version;
+      Printf.fprintf oc "  \"jobs\": %d,\n  \"input_bits\": %d,\n" jobs
+        input_bits;
+      body oc;
+      output_string oc "}\n")

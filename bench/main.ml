@@ -27,6 +27,15 @@
                                                     generation timings per
                                                     function, in a fresh
                                                     store directory)
+     dune exec bench/main.exe -- --serve-bench     (serving hot path:
+                                                    scalar batch vs the
+                                                    zero-allocation kernel,
+                                                    ns/eval + evals/sec +
+                                                    minor words/eval)
+     dune exec bench/main.exe -- --serve-json PATH (write the serve-bench
+                                                    rows as JSON)
+     dune exec bench/main.exe -- --serve-batch-pow N  (batch size 2^N;
+                                                    default 16)
      dune exec bench/main.exe -- --cache-dir DIR   (relocate the store)
      dune exec bench/main.exe -- --cache-stats     (report artifact store
                                                     hit/miss/corrupt
@@ -231,35 +240,29 @@ let print_table2 timings =
   print_newline ()
 
 (* Machine-readable E2 results, for BENCH_*.json perf trajectory
-   tracking across PRs. *)
+   tracking across PRs (standard envelope: see bench_json.ml). *)
 let write_json path ~jobs timings =
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n\
-    \  \"timestamp\": %.0f,\n\
-    \  \"jobs\": %d,\n\
-    \  \"input_bits\": %d,\n\
-    \  \"results\": [\n"
-    (Unix.time ()) jobs
-    (Softfp.width Rlibm.Config.mini_tin);
   let n = List.length timings in
-  List.iteri
-    (fun i t ->
-      let speedup =
-        match time_of timings t.t_func Polyeval.Horner with
-        | Some th when t.t_ns > 0.0 -> speedup_pct th t.t_ns
-        | _ -> 0.0
-      in
-      Printf.fprintf oc
-        "    {\"func\": %S, \"scheme\": %S, \"median_ns\": %.4f, \
-         \"speedup_vs_horner_pct\": %.2f}%s\n"
-        (Oracle.name t.t_func)
-        (Polyeval.scheme_name t.t_scheme)
-        t.t_ns speedup
-        (if i = n - 1 then "" else ","))
-    timings;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
+  Bench_json.write_file path ~kind:"polyeval-ns" ~jobs
+    ~input_bits:(Softfp.width Rlibm.Config.mini_tin)
+    (fun oc ->
+      Printf.fprintf oc "  \"results\": [\n";
+      List.iteri
+        (fun i t ->
+          let speedup =
+            match time_of timings t.t_func Polyeval.Horner with
+            | Some th when t.t_ns > 0.0 -> speedup_pct th t.t_ns
+            | _ -> 0.0
+          in
+          Printf.fprintf oc
+            "    {\"func\": %S, \"scheme\": %S, \"median_ns\": %.4f, \
+             \"speedup_vs_horner_pct\": %.2f}%s\n"
+            (Oracle.name t.t_func)
+            (Polyeval.scheme_name t.t_scheme)
+            t.t_ns speedup
+            (if i = n - 1 then "" else ","))
+        timings;
+      Printf.fprintf oc "  ]\n");
   Printf.printf "wrote %s (%d timing rows)\n%!" path n
 
 (* ---------- static cost model (the mechanism behind Figure 6) ---------- *)
@@ -455,33 +458,178 @@ let measure_generation funcs =
         funcs)
 
 let write_gen_json path ~jobs rows =
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n\
-    \  \"timestamp\": %.0f,\n\
-    \  \"jobs\": %d,\n\
-    \  \"input_bits\": %d,\n\
-    \  \"scheme\": %S,\n\
-    \  \"generation\": [\n"
-    (Unix.time ()) jobs
-    (Softfp.width Rlibm.Config.mini_tin)
-    (Polyeval.scheme_name Polyeval.EstrinFma);
   let n = List.length rows in
-  List.iteri
-    (fun i r ->
-      Printf.fprintf oc
-        "    {\"func\": %S, \"cold_s\": %.4f, \"warm_s\": %.4f, \
-         \"cold_rebuilt_stages\": %d, \"warm_rebuilt_stages\": %d, \
-         \"warm_speedup\": %.1f, \"ok\": %b}%s\n"
-        (Oracle.name r.g_func) r.g_cold_s r.g_warm_s r.g_cold_rebuilt
-        r.g_warm_rebuilt
-        (if r.g_warm_s > 0.0 then r.g_cold_s /. r.g_warm_s else 0.0)
-        r.g_ok
-        (if i = n - 1 then "" else ","))
-    rows;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
+  Bench_json.write_file path ~kind:"staged-generation" ~jobs
+    ~input_bits:(Softfp.width Rlibm.Config.mini_tin)
+    (fun oc ->
+      Printf.fprintf oc "  \"scheme\": %S,\n  \"generation\": [\n"
+        (Polyeval.scheme_name Polyeval.EstrinFma);
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"func\": %S, \"cold_s\": %.4f, \"warm_s\": %.4f, \
+             \"cold_rebuilt_stages\": %d, \"warm_rebuilt_stages\": %d, \
+             \"warm_speedup\": %.1f, \"ok\": %b}%s\n"
+            (Oracle.name r.g_func) r.g_cold_s r.g_warm_s r.g_cold_rebuilt
+            r.g_warm_rebuilt
+            (if r.g_warm_s > 0.0 then r.g_cold_s /. r.g_warm_s else 0.0)
+            r.g_ok
+            (if i = n - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n");
   Printf.printf "wrote %s (%d generation timing rows)\n%!" path n
+
+(* ---------- serve-path throughput: scalar vs batch kernel ---------- *)
+
+(* Measures the serving hot path end to end: scalar = the pre-kernel
+   batch loop (Parallel.map_array of Genlibm.eval_bits, one closure
+   dispatch + boxed decode + allocating reduction per element), kernel =
+   Serve.eval_batch_into (chunked zero-allocation batch kernels into a
+   caller-owned Bigarray).  Both run at the harness's -j; the kernel
+   path's minor-heap allocation is additionally measured per eval at
+   -j 1, where the whole batch runs on this domain and Gc.minor_words
+   counts exactly the kernel's own allocations. *)
+
+type serve_row = {
+  sv_func : Oracle.func;
+  sv_scheme : Polyeval.scheme;
+  sv_batch : int;
+  sv_scalar_ns : float;
+  sv_kernel_ns : float;
+  sv_minor_words : float;  (* kernel minor words per eval, -j 1 *)
+  sv_identical : bool;  (* kernel output bit-identical to scalar *)
+}
+
+(* Uniform random bit patterns over the whole format (NaN/Inf/specials
+   included: the serving path must take every branch), fixed seed so
+   every run and every PR measures the same batch. *)
+let random_batch tin ~pow ~seed =
+  let st = Random.State.make [| seed |] in
+  let w = Softfp.width tin in
+  Array.init (1 lsl pow) (fun _ ->
+      Random.State.int64 st (Int64.shift_left 1L w))
+
+(* ns/eval over enough repetitions to cover ~0.3 s of wall time. *)
+let time_ns_per_eval f n =
+  f ();
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let once = Unix.gettimeofday () -. t0 in
+  let reps = Stdlib.max 3 (int_of_float (0.3 /. Float.max 1e-6 once)) in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps /. float_of_int n *. 1e9
+
+let measure_serve funcs schemes ~batch_pow ~jobs =
+  List.concat_map
+    (fun scheme ->
+      let specs =
+        List.map (fun f -> (f, scheme, Rlibm.Config.mini_for f)) funcs
+      in
+      match Serve.build specs with
+      | Error msg ->
+          Printf.printf "serve bench: snapshot build failed (%s): %s\n%!"
+            (Polyeval.scheme_name scheme) msg;
+          []
+      | Ok snap ->
+          List.map
+            (fun func ->
+              let e = Option.get (Serve.find snap func) in
+              let impl = e.Serve.e_impl in
+              let tin = e.Serve.e_cfg.Rlibm.Config.tin in
+              let inputs = random_batch tin ~pow:batch_pow ~seed:7 in
+              let n = Array.length inputs in
+              let src = Genlibm.create_src n and dst = Genlibm.create_dst n in
+              Array.iteri (fun i x -> Bigarray.Array1.set src i x) inputs;
+              let scalar_run () =
+                Parallel.map_array (fun x -> Genlibm.eval_bits impl x) inputs
+              in
+              let kernel_run () = Serve.eval_batch_into snap func ~src ~dst in
+              let scalar = scalar_run () in
+              kernel_run ();
+              let identical = ref true in
+              for i = 0 to n - 1 do
+                if
+                  not
+                    (Int64.equal
+                       (Int64.bits_of_float scalar.(i))
+                       (Int64.bits_of_float (Bigarray.Array1.get dst i)))
+                then identical := false
+              done;
+              let scalar_ns = time_ns_per_eval (fun () -> ignore (scalar_run ())) n in
+              let kernel_ns = time_ns_per_eval kernel_run n in
+              Parallel.set_jobs 1;
+              kernel_run ();
+              (* warm run above sizes the per-domain scratch *)
+              let w0 = Gc.minor_words () in
+              kernel_run ();
+              let minor = (Gc.minor_words () -. w0) /. float_of_int n in
+              Parallel.set_jobs jobs;
+              {
+                sv_func = func;
+                sv_scheme = scheme;
+                sv_batch = n;
+                sv_scalar_ns = scalar_ns;
+                sv_kernel_ns = kernel_ns;
+                sv_minor_words = minor;
+                sv_identical = !identical;
+              })
+            funcs)
+    schemes
+
+let print_serve ~batch_pow ~jobs rows =
+  Printf.printf
+    "== serve throughput: scalar batch vs zero-allocation kernel (batch \
+     2^%d, -j %d) ==\n"
+    batch_pow jobs;
+  Printf.printf "%-7s %-11s %10s %10s %8s %14s %12s %s\n" "f" "scheme"
+    "scalar ns" "kernel ns" "speedup" "kernel evals/s" "minor w/eval"
+    "identical";
+  List.iter
+    (fun r ->
+      Printf.printf "%-7s %-11s %10.1f %10.1f %7.2fx %14.3e %12.4f %s\n"
+        (Oracle.name r.sv_func)
+        (Polyeval.scheme_name r.sv_scheme)
+        r.sv_scalar_ns r.sv_kernel_ns
+        (if r.sv_kernel_ns > 0.0 then r.sv_scalar_ns /. r.sv_kernel_ns else 0.0)
+        (if r.sv_kernel_ns > 0.0 then 1e9 /. r.sv_kernel_ns else 0.0)
+        r.sv_minor_words
+        (if r.sv_identical then "yes" else "NO"))
+    rows;
+  print_newline ();
+  if List.exists (fun r -> not r.sv_identical) rows then begin
+    print_endline "serve bench: kernel output differs from the scalar path";
+    exit 1
+  end
+
+let write_serve_json path ~jobs ~batch_pow rows =
+  let n = List.length rows in
+  Bench_json.write_file path ~kind:"serve-throughput" ~jobs
+    ~input_bits:(Softfp.width Rlibm.Config.mini_tin)
+    (fun oc ->
+      Printf.fprintf oc "  \"batch_pow\": %d,\n  \"results\": [\n" batch_pow;
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"func\": %S, \"scheme\": %S, \"batch\": %d, \
+             \"scalar_ns_per_eval\": %.3f, \"kernel_ns_per_eval\": %.3f, \
+             \"scalar_evals_per_s\": %.0f, \"kernel_evals_per_s\": %.0f, \
+             \"speedup\": %.3f, \"kernel_minor_words_per_eval\": %.5f, \
+             \"bit_identical\": %b}%s\n"
+            (Oracle.name r.sv_func)
+            (Polyeval.scheme_name r.sv_scheme)
+            r.sv_batch r.sv_scalar_ns r.sv_kernel_ns
+            (if r.sv_scalar_ns > 0.0 then 1e9 /. r.sv_scalar_ns else 0.0)
+            (if r.sv_kernel_ns > 0.0 then 1e9 /. r.sv_kernel_ns else 0.0)
+            (if r.sv_kernel_ns > 0.0 then r.sv_scalar_ns /. r.sv_kernel_ns
+             else 0.0)
+            r.sv_minor_words r.sv_identical
+            (if i = n - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n");
+  Printf.printf "wrote %s (%d serve timing rows)\n%!" path n
 
 (* ---------- driver ---------- *)
 
@@ -494,11 +642,24 @@ let () =
   let json_path = Cli.opt_value [ "--json" ] args in
   let gen_json_path = Cli.opt_value [ "--gen-json" ] args in
   let quick = has "--quick" in
+  let serve_bench = has "--serve-bench" in
+  let serve_json_path = Cli.opt_value [ "--serve-json" ] args in
+  let serve_batch_pow =
+    match Cli.opt_value [ "--serve-batch-pow" ] args with
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some p when p >= 4 && p <= 26 -> p
+        | _ ->
+            Printf.eprintf "bad --serve-batch-pow value %S\n" v;
+            exit 2)
+    | None -> 16
+  in
   let funcs = if quick then [ Oracle.Exp2; Oracle.Log2 ] else Oracle.all in
   let all =
     not
       (has "--table1" || has "--table2" || has "--post-process"
-     || has "--correctness" || has "--cost" || gen_json_path <> None)
+     || has "--correctness" || has "--cost" || serve_bench
+     || gen_json_path <> None)
   in
   Printf.printf
     "rlibm-fastpoly benchmark harness (%d functions x %d schemes, %d-bit \
@@ -522,6 +683,17 @@ let () =
   | None -> ());
   if all || has "--post-process" then print_post_process grid;
   if all || has "--correctness" then print_correctness grid;
+  if serve_bench then begin
+    let schemes =
+      if quick then [ Polyeval.Horner; Polyeval.EstrinFma ]
+      else Polyeval.paper_schemes
+    in
+    let rows = measure_serve funcs schemes ~batch_pow:serve_batch_pow ~jobs in
+    print_serve ~batch_pow:serve_batch_pow ~jobs rows;
+    match serve_json_path with
+    | Some path -> write_serve_json path ~jobs ~batch_pow:serve_batch_pow rows
+    | None -> ()
+  end;
   (match gen_json_path with
   | Some path ->
       print_endline

@@ -52,6 +52,24 @@ let generate_sampled ?log ~(cfg : Rlibm.Config.t) ~scheme ~count ~seed func =
 
 (* ---------- evaluation ---------- *)
 
+(* Binary search over the sorted native-int special table.  Returns the
+   index of [key], or -1.  Keys are the (wrapped) [Int64.to_int] of the
+   input patterns — the same injective mapping used when the array was
+   sorted, so the probe is order-consistent for every format width. *)
+let find_special (keys : int array) (key : int) =
+  let lo = ref 0 and hi = ref (Array.length keys - 1) and found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let k = Array.unsafe_get keys mid in
+    if k = key then begin
+      found := mid;
+      lo := !hi + 1
+    end
+    else if k < key then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
 (* The generated double-precision implementation: special table, analytic
    shortcut, then range reduction / polynomial / output compensation. *)
 let eval_bits (g : t) (x : int64) =
@@ -63,15 +81,15 @@ let eval_bits (g : t) (x : int64) =
         if Funcspec.is_exp_family g.family.func then 0.0 else Float.nan
       else Float.infinity
   | Softfp.Zero | Softfp.Subnormal | Softfp.Normal -> (
-      match Hashtbl.find_opt g.specials x with
-      | Some v -> v
-      | None -> (
-          let xf = Softfp.to_float tin x in
-          match g.family.shortcut xf with
-          | Some v -> v
-          | None ->
-              let red = g.family.reduce xf in
-              red.oc (g.pieces.(red.piece).Polyeval.eval red.r)))
+      let si = find_special g.spec_keys (Int64.to_int x) in
+      if si >= 0 then g.spec_vals.(si)
+      else
+        let xf = Softfp.to_float tin x in
+        match g.family.shortcut xf with
+        | Some v -> v
+        | None ->
+            let red = g.family.reduce xf in
+            red.oc (g.pieces.(red.piece).Polyeval.eval red.r))
 
 (* Fast path used by the benchmarks: skips the special-table lookup cost
    difference across schemes by keeping the exact same control flow. *)
@@ -81,6 +99,274 @@ let eval_float (g : t) (xf : float) =
   | None ->
       let red = g.family.reduce xf in
       red.oc (g.pieces.(red.piece).Polyeval.eval red.r)
+
+(* ---------- batch kernel ---------- *)
+
+type src_buf = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type dst_buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create_src n : src_buf = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout n
+let create_dst n : dst_buf = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+(* Reusable per-domain scratch for [eval_bits_into].  A chunk runs on one
+   domain at a time, and the Parallel pool never runs two chunks
+   concurrently on the same domain, so one scratch per domain suffices;
+   holding it in DLS means steady-state batches allocate nothing at all
+   (growth is amortized over the largest chunk ever seen). *)
+type kscratch = {
+  mutable kr : floatarray;  (* reduced input per element *)
+  mutable kpr : floatarray;  (* polynomial arguments, packed per piece *)
+  mutable kv : floatarray;  (* polynomial results, packed per piece *)
+  mutable kc : floatarray;  (* log-family compensation addend *)
+  mutable kn : int array;  (* exp-family compensation exponent *)
+  mutable kp : int array;  (* piece index; -1 = settled in the first pass *)
+  mutable kidx : int array;  (* element positions grouped by piece *)
+  mutable kcount : int array;  (* per-piece group size *)
+  mutable koff : int array;  (* per-piece group start *)
+}
+
+let kscratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        kr = Float.Array.create 0;
+        kpr = Float.Array.create 0;
+        kv = Float.Array.create 0;
+        kc = Float.Array.create 0;
+        kn = [||];
+        kp = [||];
+        kidx = [||];
+        kcount = [||];
+        koff = [||];
+      })
+
+let ensure_kscratch ks len npieces =
+  if Float.Array.length ks.kr < len then begin
+    ks.kr <- Float.Array.create len;
+    ks.kpr <- Float.Array.create len;
+    ks.kv <- Float.Array.create len;
+    ks.kc <- Float.Array.create len;
+    ks.kn <- Array.make len 0;
+    ks.kp <- Array.make len 0;
+    ks.kidx <- Array.make len 0
+  end;
+  if Array.length ks.kcount < npieces then begin
+    ks.kcount <- Array.make npieces 0;
+    ks.koff <- Array.make npieces 0
+  end
+
+(* [eval_bits_into g ~src ~dst ~lo ~hi] is [eval_bits] over the chunk
+   [\[lo, hi)] of [src], bit for bit, with zero per-element allocation:
+
+   pass 1  decode each pattern in native ints (no [Softfp.to_float],
+           which routes through Rat), probe the sorted special table,
+           run the family shortcut inlined from [Reduction.kernel], and
+           for surviving elements run [Reduction.reduce_into] through a
+           single reused scratch record, recording (piece, r,
+           compensation parameter);
+   pass 2  group the surviving element positions by piece (counting
+           sort — the piece partition is contiguous-ish but not exactly,
+           so a gather is needed for piece counts > 1);
+   pass 3  per piece, gather the reduced inputs into a packed buffer,
+           run the degree-specialized batch evaluator
+           ({!Polyeval.eval_into}) once over the whole group, and
+           scatter the compensated results.
+
+   The polynomial values and the compensation are the same double
+   operations, on the same values, in the same order as the scalar path,
+   so the contract "bit-identical to [eval_bits]" is structural; the
+   test suite enforces it exhaustively. *)
+let eval_bits_into (g : t) ~(src : src_buf) ~(dst : dst_buf) ~lo ~hi =
+  if
+    lo < 0 || hi < lo
+    || hi > Bigarray.Array1.dim src
+    || hi > Bigarray.Array1.dim dst
+  then invalid_arg "Genlibm.eval_bits_into: chunk outside the buffers";
+  let len = hi - lo in
+  if len > 0 then begin
+    let npieces = Array.length g.pieces in
+    let ks = Domain.DLS.get kscratch_key in
+    ensure_kscratch ks len npieces;
+    let kr = ks.kr and kc = ks.kc and kn = ks.kn and kp = ks.kp in
+    let tin = g.cfg.tin in
+    let fw = tin.Softfp.prec - 1 in
+    let w = Softfp.width tin in
+    let fmask = (1 lsl fw) - 1 in
+    let emask = (1 lsl tin.Softfp.ebits) - 1 in
+    let bias = Softfp.emax tin in
+    let sub_e = Softfp.emin tin - fw in
+    let hidden = 1 lsl fw in
+    let spec_keys = g.spec_keys and spec_vals = g.spec_vals in
+    let s = Rlibm.Reduction.scratch () in
+    let reduce_into = g.family.Rlibm.Reduction.reduce_into in
+    (* Pass 1, specialized per family so the shortcut constants live in
+       registers.  The decode mirrors [Softfp.to_float] exactly: the
+       mantissa ldexp is exact for every supported format (prec <= 53),
+       and out-of-double-range exponents round identically. *)
+    (match g.family.Rlibm.Reduction.kernel with
+    | Rlibm.Reduction.Exp_kernel ek ->
+        let scale = ek.Rlibm.Reduction.ek_scale in
+        let hi_cut = ek.Rlibm.Reduction.ek_hi_cut in
+        let low_cut = ek.Rlibm.Reduction.ek_lo_cut in
+        let near_cut = ek.Rlibm.Reduction.ek_near_cut in
+        let v_huge = ek.Rlibm.Reduction.ek_huge in
+        let v_tiny = ek.Rlibm.Reduction.ek_tiny in
+        let v_above = ek.Rlibm.Reduction.ek_above_one in
+        let v_below = ek.Rlibm.Reduction.ek_below_one in
+        for o = 0 to len - 1 do
+          let b = Int64.to_int (Bigarray.Array1.unsafe_get src (lo + o)) in
+          let fr = b land fmask in
+          let be = (b lsr fw) land emask in
+          let neg = (b lsr (w - 1)) land 1 = 1 in
+          if be = emask then begin
+            Array.unsafe_set kp o (-1);
+            Bigarray.Array1.unsafe_set dst (lo + o)
+              (if fr <> 0 then Float.nan
+               else if neg then 0.0
+               else Float.infinity)
+          end
+          else begin
+            let si = find_special spec_keys b in
+            if si >= 0 then begin
+              Array.unsafe_set kp o (-1);
+              Bigarray.Array1.unsafe_set dst (lo + o)
+                (Array.unsafe_get spec_vals si)
+            end
+            else begin
+              let x =
+                if be = 0 then
+                  if fr = 0 then if neg then -0.0 else 0.0
+                  else
+                    let v = Float.ldexp (float_of_int fr) sub_e in
+                    if neg then -.v else v
+                else
+                  let v =
+                    Float.ldexp (float_of_int (hidden lor fr)) (be - bias - fw)
+                  in
+                  if neg then -.v else v
+              in
+              let t = x *. scale in
+              if t > hi_cut then begin
+                Array.unsafe_set kp o (-1);
+                Bigarray.Array1.unsafe_set dst (lo + o) v_huge
+              end
+              else if t < low_cut then begin
+                Array.unsafe_set kp o (-1);
+                Bigarray.Array1.unsafe_set dst (lo + o) v_tiny
+              end
+              else if x <> 0.0 && Float.abs t < near_cut then begin
+                Array.unsafe_set kp o (-1);
+                Bigarray.Array1.unsafe_set dst (lo + o)
+                  (if x > 0.0 then v_above else v_below)
+              end
+              else begin
+                s.Rlibm.Reduction.sf.Rlibm.Reduction.sx <- x;
+                reduce_into s;
+                Array.unsafe_set kp o s.Rlibm.Reduction.spiece;
+                Float.Array.unsafe_set kr o
+                  s.Rlibm.Reduction.sf.Rlibm.Reduction.sr;
+                Array.unsafe_set kn o s.Rlibm.Reduction.sn
+              end
+            end
+          end
+        done
+    | Rlibm.Reduction.Log_kernel ->
+        for o = 0 to len - 1 do
+          let b = Int64.to_int (Bigarray.Array1.unsafe_get src (lo + o)) in
+          let fr = b land fmask in
+          let be = (b lsr fw) land emask in
+          let neg = (b lsr (w - 1)) land 1 = 1 in
+          if be = emask then begin
+            Array.unsafe_set kp o (-1);
+            Bigarray.Array1.unsafe_set dst (lo + o)
+              (if fr <> 0 then Float.nan
+               else if neg then Float.nan
+               else Float.infinity)
+          end
+          else begin
+            let si = find_special spec_keys b in
+            if si >= 0 then begin
+              Array.unsafe_set kp o (-1);
+              Bigarray.Array1.unsafe_set dst (lo + o)
+                (Array.unsafe_get spec_vals si)
+            end
+            else if be = 0 && fr = 0 then begin
+              (* x = +/-0: the log shortcut's [x = 0.0] branch *)
+              Array.unsafe_set kp o (-1);
+              Bigarray.Array1.unsafe_set dst (lo + o) Float.neg_infinity
+            end
+            else if neg then begin
+              Array.unsafe_set kp o (-1);
+              Bigarray.Array1.unsafe_set dst (lo + o) Float.nan
+            end
+            else begin
+              let x =
+                if be = 0 then Float.ldexp (float_of_int fr) sub_e
+                else
+                  Float.ldexp (float_of_int (hidden lor fr)) (be - bias - fw)
+              in
+              s.Rlibm.Reduction.sf.Rlibm.Reduction.sx <- x;
+              reduce_into s;
+              Array.unsafe_set kp o s.Rlibm.Reduction.spiece;
+              Float.Array.unsafe_set kr o
+                s.Rlibm.Reduction.sf.Rlibm.Reduction.sr;
+              Float.Array.unsafe_set kc o
+                s.Rlibm.Reduction.sf.Rlibm.Reduction.sc
+            end
+          end
+        done);
+    (* Pass 2: counting sort of the surviving positions by piece. *)
+    let kcount = ks.kcount and koff = ks.koff and kidx = ks.kidx in
+    Array.fill kcount 0 npieces 0;
+    for o = 0 to len - 1 do
+      let p = Array.unsafe_get kp o in
+      if p >= 0 then kcount.(p) <- kcount.(p) + 1
+    done;
+    let acc = ref 0 in
+    for p = 0 to npieces - 1 do
+      koff.(p) <- !acc;
+      acc := !acc + kcount.(p)
+    done;
+    for o = 0 to len - 1 do
+      let p = Array.unsafe_get kp o in
+      if p >= 0 then begin
+        Array.unsafe_set kidx koff.(p) o;
+        koff.(p) <- koff.(p) + 1
+      end
+    done;
+    (* Pass 3: per piece — gather, batch-evaluate, compensate, scatter.
+       [koff.(p)] now points one past the group's end. *)
+    let kpr = ks.kpr and kv = ks.kv in
+    let scheme = g.scheme in
+    let is_exp =
+      match g.family.Rlibm.Reduction.kernel with
+      | Rlibm.Reduction.Exp_kernel _ -> true
+      | Rlibm.Reduction.Log_kernel -> false
+    in
+    for p = 0 to npieces - 1 do
+      let m = kcount.(p) in
+      if m > 0 then begin
+        let base = koff.(p) - m in
+        for t = 0 to m - 1 do
+          Float.Array.unsafe_set kpr t
+            (Float.Array.unsafe_get kr (Array.unsafe_get kidx (base + t)))
+        done;
+        Polyeval.eval_into scheme g.pieces.(p).Polyeval.data ~src:kpr ~dst:kv
+          ~lo:0 ~hi:m;
+        if is_exp then
+          for t = 0 to m - 1 do
+            let o = Array.unsafe_get kidx (base + t) in
+            Bigarray.Array1.unsafe_set dst (lo + o)
+              (Float.ldexp (Float.Array.unsafe_get kv t) (Array.unsafe_get kn o))
+          done
+        else
+          for t = 0 to m - 1 do
+            let o = Array.unsafe_get kidx (base + t) in
+            Bigarray.Array1.unsafe_set dst (lo + o)
+              (Float.Array.unsafe_get kc o +. Float.Array.unsafe_get kv t)
+          done
+      end
+    done
+  end
 
 (* ---------- rounding of results ---------- *)
 

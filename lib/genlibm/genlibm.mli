@@ -58,6 +58,36 @@ val eval_float : t -> float -> float
     format, with NaN/infinity/signed-zero handling. *)
 val round_result : Softfp.fmt -> Softfp.mode -> float -> Softfp.bits
 
+(** {1 Batch kernel}
+
+    The serving hot path.  Inputs and outputs live in C-layout
+    {!Bigarray} buffers — flat, unboxed, shareable across domains
+    without copying — and evaluation proceeds in passes over a chunk:
+    native-int decode + special-table binary search + inlined shortcut,
+    allocation-free range reduction through a reused scratch record,
+    then one degree-specialized {!Polyeval.eval_into} sweep per piece
+    with the output compensation applied on scatter. *)
+
+(** Input bit patterns (one per element, in the low bits of each
+    [int64]). *)
+type src_buf = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** Double results, same indexing as the source buffer. *)
+type dst_buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create_src : int -> src_buf
+val create_dst : int -> dst_buf
+
+(** [eval_bits_into g ~src ~dst ~lo ~hi] evaluates patterns
+    [src.{lo} .. src.{hi-1}] into the same slots of [dst].  Bit-identical
+    to {!eval_bits} on every input, with zero per-element heap
+    allocation (per-domain scratch is reused across calls).  Other
+    slots of [dst] are untouched, so disjoint chunks can be filled
+    concurrently from different domains.
+    @raise Invalid_argument when [\[lo, hi)] falls outside either
+    buffer. *)
+val eval_bits_into : t -> src:src_buf -> dst:dst_buf -> lo:int -> hi:int -> unit
+
 (** {1 Verification} *)
 
 type verify_report = {

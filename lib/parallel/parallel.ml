@@ -170,29 +170,41 @@ let fan_out j n body =
     failed;
   c
 
+(* map_array / init write chunk results straight into one preallocated
+   result array — per-chunk slice arrays plus the final [Array.concat]
+   copied every element twice and left a garbage slice per chunk.
+   ['b array] cannot be preallocated without a value of type ['b], so
+   the driver computes element 0 up front as the fill seed and the
+   chunk covering index 0 starts at 1.  Chunks write disjoint ranges;
+   the pool mutex publishes the writes back to the driver. *)
+
 let map_array ?(min = 2) f a =
   let n = Array.length a in
   let j = jobs () in
   if j <= 1 || n < min || n <= 1 then Array.map f a
   else begin
-    let slices = Array.make (chunk_count j n) [||] in
+    let out = Array.make n (f a.(0)) in
     let _c =
-      fan_out j n (fun k lo hi ->
-          slices.(k) <- Array.init (hi - lo) (fun i -> f a.(lo + i)))
+      fan_out j n (fun _k lo hi ->
+          for i = (if lo = 0 then 1 else lo) to hi - 1 do
+            out.(i) <- f a.(i)
+          done)
     in
-    Array.concat (Array.to_list slices)
+    out
   end
 
 let init ?(min = 2) n f =
   let j = jobs () in
   if j <= 1 || n < min || n <= 1 then Array.init n f
   else begin
-    let slices = Array.make (chunk_count j n) [||] in
+    let out = Array.make n (f 0) in
     let _c =
-      fan_out j n (fun k lo hi ->
-          slices.(k) <- Array.init (hi - lo) (fun i -> f (lo + i)))
+      fan_out j n (fun _k lo hi ->
+          for i = (if lo = 0 then 1 else lo) to hi - 1 do
+            out.(i) <- f i
+          done)
     in
-    Array.concat (Array.to_list slices)
+    out
   end
 
 let iter_chunks ?(min = 2) n f =

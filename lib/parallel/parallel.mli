@@ -47,11 +47,15 @@ val default_jobs : unit -> int
 (** [map_array ?min f a] is [Array.map f a], fanned out when
     [jobs () > 1] and [Array.length a >= min] (default [2]: parallel
     whenever possible).  [min] exists so callers with very cheap [f] can
-    skip the fan-out overhead on small arrays. *)
+    skip the fan-out overhead on small arrays.  Chunks write disjoint
+    ranges of a single preallocated result array (no per-chunk slices,
+    no concatenation copy); the driver evaluates [f a.(0)] first as the
+    allocation seed. *)
 val map_array : ?min:int -> ('a -> 'b) -> 'a array -> 'b array
 
-(** [init ?min n f] is [Array.init n f] with the same fan-out rule;
-    chunks tabulate disjoint index ranges. *)
+(** [init ?min n f] is [Array.init n f] with the same fan-out rule and
+    the same direct-write merge; chunks tabulate disjoint index
+    ranges. *)
 val init : ?min:int -> int -> (int -> 'a) -> 'a array
 
 (** [iter_chunks ?min n f] partitions [0..n-1] into the static chunk

@@ -201,6 +201,316 @@ let eval_knuth ~degree (a : float array) x =
       (((w +. z +. a.(4)) *. w) +. a.(5)) *. a.(6)
   | _ -> invalid_arg "Polyeval.eval_knuth: degree must be 4, 5 or 6"
 
+(* ---------- batch evaluators ---------- *)
+
+(* One loop per (scheme, length): the coefficient loads are hoisted out of
+   the loop into locals, and the loop body is the *textually identical*
+   float expression of the scalar evaluator above, so the batch result is
+   bit-for-bit the scalar result (enforced by the test suite).  The
+   [floatarray] src/dst keep every element unboxed; with the coefficients
+   in locals the specialized bodies perform no per-element allocation.
+
+   Lengths above 7 never occur in generated functions (Config.max_degree
+   is 6); the generic fallbacks only exist so the batch API is total. *)
+
+let horner_into (c : float array) (src : floatarray) (dst : floatarray) lo hi =
+  match Array.length c with
+  | 0 -> Float.Array.fill dst lo (hi - lo) 0.0
+  | 1 -> Float.Array.fill dst lo (hi - lo) c.(0)
+  | 2 ->
+      let c0 = c.(0) and c1 = c.(1) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        Float.Array.unsafe_set dst i (c0 +. (x *. c1))
+      done
+  | 3 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        Float.Array.unsafe_set dst i (c0 +. (x *. (c1 +. (x *. c2))))
+      done
+  | 4 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) and c3 = c.(3) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        Float.Array.unsafe_set dst i
+          (c0 +. (x *. (c1 +. (x *. (c2 +. (x *. c3))))))
+      done
+  | 5 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) and c3 = c.(3)
+      and c4 = c.(4) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        Float.Array.unsafe_set dst i
+          (c0 +. (x *. (c1 +. (x *. (c2 +. (x *. (c3 +. (x *. c4))))))))
+      done
+  | 6 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) and c3 = c.(3)
+      and c4 = c.(4) and c5 = c.(5) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        Float.Array.unsafe_set dst i
+          (c0
+          +. (x
+             *. (c1
+                +. (x *. (c2 +. (x *. (c3 +. (x *. (c4 +. (x *. c5))))))))))
+      done
+  | 7 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) and c3 = c.(3)
+      and c4 = c.(4) and c5 = c.(5) and c6 = c.(6) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        Float.Array.unsafe_set dst i
+          (c0
+          +. (x
+             *. (c1
+                +. (x
+                   *. (c2
+                      +. (x
+                         *. (c3 +. (x *. (c4 +. (x *. (c5 +. (x *. c6))))))))))))
+      done
+  | n ->
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        let acc = ref c.(n - 1) in
+        for k = n - 2 downto 0 do
+          acc := c.(k) +. (x *. !acc)
+        done;
+        Float.Array.unsafe_set dst i !acc
+      done
+
+let horner_fma_into (c : float array) (src : floatarray) (dst : floatarray) lo
+    hi =
+  match Array.length c with
+  | 0 -> Float.Array.fill dst lo (hi - lo) 0.0
+  | 1 -> Float.Array.fill dst lo (hi - lo) c.(0)
+  | 2 ->
+      let c0 = c.(0) and c1 = c.(1) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        Float.Array.unsafe_set dst i (fma x c1 c0)
+      done
+  | 3 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        Float.Array.unsafe_set dst i (fma x (fma x c2 c1) c0)
+      done
+  | 4 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) and c3 = c.(3) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        Float.Array.unsafe_set dst i (fma x (fma x (fma x c3 c2) c1) c0)
+      done
+  | 5 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) and c3 = c.(3)
+      and c4 = c.(4) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        Float.Array.unsafe_set dst i
+          (fma x (fma x (fma x (fma x c4 c3) c2) c1) c0)
+      done
+  | 6 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) and c3 = c.(3)
+      and c4 = c.(4) and c5 = c.(5) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        Float.Array.unsafe_set dst i
+          (fma x (fma x (fma x (fma x (fma x c5 c4) c3) c2) c1) c0)
+      done
+  | 7 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) and c3 = c.(3)
+      and c4 = c.(4) and c5 = c.(5) and c6 = c.(6) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        Float.Array.unsafe_set dst i
+          (fma x (fma x (fma x (fma x (fma x (fma x c6 c5) c4) c3) c2) c1) c0)
+      done
+  | n ->
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        let acc = ref c.(n - 1) in
+        for k = n - 2 downto 0 do
+          acc := fma x !acc c.(k)
+        done;
+        Float.Array.unsafe_set dst i !acc
+      done
+
+let estrin_into (c : float array) (src : floatarray) (dst : floatarray) lo hi =
+  match Array.length c with
+  | 0 -> Float.Array.fill dst lo (hi - lo) 0.0
+  | 1 -> Float.Array.fill dst lo (hi - lo) c.(0)
+  | 2 ->
+      let c0 = c.(0) and c1 = c.(1) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        Float.Array.unsafe_set dst i (c0 +. (c1 *. x))
+      done
+  | 3 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        let t0 = c0 +. (c1 *. x) in
+        Float.Array.unsafe_set dst i (t0 +. (c2 *. (x *. x)))
+      done
+  | 4 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) and c3 = c.(3) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        let t0 = c0 +. (c1 *. x) in
+        let t1 = c2 +. (c3 *. x) in
+        Float.Array.unsafe_set dst i (t0 +. (t1 *. (x *. x)))
+      done
+  | 5 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) and c3 = c.(3)
+      and c4 = c.(4) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        let t0 = c0 +. (c1 *. x) in
+        let t1 = c2 +. (c3 *. x) in
+        let y = x *. x in
+        let s = t0 +. (t1 *. y) in
+        Float.Array.unsafe_set dst i (s +. (c4 *. (y *. y)))
+      done
+  | 6 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) and c3 = c.(3)
+      and c4 = c.(4) and c5 = c.(5) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        let t0 = c0 +. (c1 *. x) in
+        let t1 = c2 +. (c3 *. x) in
+        let t2 = c4 +. (c5 *. x) in
+        let y = x *. x in
+        let s = t0 +. (t1 *. y) in
+        Float.Array.unsafe_set dst i (s +. (t2 *. (y *. y)))
+      done
+  | 7 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) and c3 = c.(3)
+      and c4 = c.(4) and c5 = c.(5) and c6 = c.(6) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        let t0 = c0 +. (c1 *. x) in
+        let t1 = c2 +. (c3 *. x) in
+        let t2 = c4 +. (c5 *. x) in
+        let y = x *. x in
+        let s0 = t0 +. (t1 *. y) in
+        let s1 = t2 +. (c6 *. y) in
+        Float.Array.unsafe_set dst i (s0 +. (s1 *. (y *. y)))
+      done
+  | _ ->
+      for i = lo to hi - 1 do
+        Float.Array.unsafe_set dst i
+          (estrin_generic ~use_fma:false c (Float.Array.unsafe_get src i))
+      done
+
+let estrin_fma_into (c : float array) (src : floatarray) (dst : floatarray) lo
+    hi =
+  match Array.length c with
+  | 0 -> Float.Array.fill dst lo (hi - lo) 0.0
+  | 1 -> Float.Array.fill dst lo (hi - lo) c.(0)
+  | 2 ->
+      let c0 = c.(0) and c1 = c.(1) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        Float.Array.unsafe_set dst i (fma c1 x c0)
+      done
+  | 3 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        let t0 = fma c1 x c0 in
+        Float.Array.unsafe_set dst i (fma c2 (x *. x) t0)
+      done
+  | 4 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) and c3 = c.(3) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        let t0 = fma c1 x c0 in
+        let t1 = fma c3 x c2 in
+        Float.Array.unsafe_set dst i (fma t1 (x *. x) t0)
+      done
+  | 5 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) and c3 = c.(3)
+      and c4 = c.(4) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        let t0 = fma c1 x c0 in
+        let t1 = fma c3 x c2 in
+        let y = x *. x in
+        let s = fma t1 y t0 in
+        Float.Array.unsafe_set dst i (fma c4 (y *. y) s)
+      done
+  | 6 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) and c3 = c.(3)
+      and c4 = c.(4) and c5 = c.(5) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        let t0 = fma c1 x c0 in
+        let t1 = fma c3 x c2 in
+        let t2 = fma c5 x c4 in
+        let y = x *. x in
+        let s = fma t1 y t0 in
+        Float.Array.unsafe_set dst i (fma t2 (y *. y) s)
+      done
+  | 7 ->
+      let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) and c3 = c.(3)
+      and c4 = c.(4) and c5 = c.(5) and c6 = c.(6) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        let t0 = fma c1 x c0 in
+        let t1 = fma c3 x c2 in
+        let t2 = fma c5 x c4 in
+        let y = x *. x in
+        let s0 = fma t1 y t0 in
+        let s1 = fma c6 y t2 in
+        Float.Array.unsafe_set dst i (fma s1 (y *. y) s0)
+      done
+  | _ ->
+      for i = lo to hi - 1 do
+        Float.Array.unsafe_set dst i
+          (estrin_generic ~use_fma:true c (Float.Array.unsafe_get src i))
+      done
+
+let knuth_into (a : float array) (src : floatarray) (dst : floatarray) lo hi =
+  match Array.length a - 1 with
+  | 4 ->
+      let a0 = a.(0) and a1 = a.(1) and a2 = a.(2) and a3 = a.(3)
+      and a4 = a.(4) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        let y = ((x +. a0) *. x) +. a1 in
+        Float.Array.unsafe_set dst i ((((y +. x +. a2) *. y) +. a3) *. a4)
+      done
+  | 5 ->
+      let a0 = a.(0) and a1 = a.(1) and a2 = a.(2) and a3 = a.(3)
+      and a4 = a.(4) and a5 = a.(5) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        let t = x +. a0 in
+        let y = t *. t in
+        Float.Array.unsafe_set dst i
+          ((((((y +. a1) *. y) +. a2) *. (x +. a3)) +. a4) *. a5)
+      done
+  | 6 ->
+      let a0 = a.(0) and a1 = a.(1) and a2 = a.(2) and a3 = a.(3)
+      and a4 = a.(4) and a5 = a.(5) and a6 = a.(6) in
+      for i = lo to hi - 1 do
+        let x = Float.Array.unsafe_get src i in
+        let z = ((x +. a0) *. x) +. a1 in
+        let w = ((x +. a2) *. z) +. a3 in
+        Float.Array.unsafe_set dst i ((((w +. z +. a4) *. w) +. a5) *. a6)
+      done
+  | _ -> invalid_arg "Polyeval.eval_into: Knuth degree must be 4, 5 or 6"
+
+let eval_into scheme (data : float array) ~(src : floatarray)
+    ~(dst : floatarray) ~lo ~hi =
+  match scheme with
+  | Horner -> horner_into data src dst lo hi
+  | HornerFma -> horner_fma_into data src dst lo hi
+  | Estrin -> estrin_into data src dst lo hi
+  | EstrinFma -> estrin_fma_into data src dst lo hi
+  | Knuth -> knuth_into data src dst lo hi
+
 (* ---------- Knuth coefficient adaptation ---------- *)
 
 let adapt_knuth (u : float array) =

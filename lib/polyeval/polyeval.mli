@@ -61,6 +61,30 @@ val estrin_fma : float array -> float -> float
     [alphas] must have [degree + 1] entries. *)
 val eval_knuth : degree:int -> float array -> float -> float
 
+(** {1 Batch evaluators}
+
+    The serving hot path.  [eval_into scheme data ~src ~dst ~lo ~hi]
+    evaluates the scheme's polynomial — [data] is a
+    {!compiled}[.data] array: dense coefficients, or Knuth's adapted
+    constants — on [src.(i)] for every [i] in [\[lo, hi)], writing the
+    results to [dst.(i)].  Each (scheme, length) pair gets its own loop
+    with the coefficients hoisted into locals and a loop body that is the
+    textually identical float expression of the corresponding scalar
+    evaluator, so every result is bit-for-bit equal to
+    [compiled.eval src.(i)] (enforced by the test suite) while the loop
+    performs no per-element allocation, closure dispatch, or coefficient
+    reload.  Lengths above 7 fall back to a generic path (never produced
+    by generation, where degrees stop at 6).
+    @raise Invalid_argument for [Knuth] data outside lengths 5–7. *)
+val eval_into :
+  scheme ->
+  float array ->
+  src:floatarray ->
+  dst:floatarray ->
+  lo:int ->
+  hi:int ->
+  unit
+
 (** {1 Knuth coefficient adaptation} *)
 
 (** [adapt_knuth coeffs] computes the adapted coefficients for a dense

@@ -267,6 +267,8 @@ type generated = {
   scheme : Polyeval.scheme;
   pieces : Polyeval.compiled array;
   specials : (int64, float) Hashtbl.t;  (* input bits -> double result *)
+  spec_keys : int array;  (* the same specials, sorted by bit pattern… *)
+  spec_vals : float array;  (* …for the binary-search hot path *)
   oracle : (int64, int64) Hashtbl.t;  (* input bits -> round-to-odd bits *)
   degrees : int array;  (* per piece *)
   rounds : int array;  (* per piece *)
@@ -393,12 +395,28 @@ let assemble ~(cfg : Config.t) ~scheme ~func
   in
   let specials = Hashtbl.create 16 in
   List.iter (fun (x, v) -> Hashtbl.replace specials x v) sv.sv_specials;
+  (* Sorted-array mirror of the special table, probed by binary search on
+     the hot path (Genlibm.eval_bits and the batch kernels) instead of a
+     per-call Hashtbl.find_opt that allocates an option.  Patterns occupy
+     the low <= 63 bits of the int64 (a Softfp.make_fmt invariant), so a
+     native-int key array gives unboxed comparisons.  Built from the
+     table, not the discovery-order list, so duplicate discoveries
+     collapse exactly as the Hashtbl replace semantics dictate. *)
+  let spec_pairs =
+    Hashtbl.fold (fun x v acc -> (Int64.to_int x, v) :: acc) specials []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+    |> Array.of_list
+  in
+  let spec_keys = Array.map fst spec_pairs in
+  let spec_vals = Array.map snd spec_pairs in
   {
     cfg;
     family;
     scheme;
     pieces;
     specials;
+    spec_keys;
+    spec_vals;
     oracle;
     degrees = sv.sv_degrees;
     rounds = sv.sv_rounds;

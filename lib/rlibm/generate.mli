@@ -38,6 +38,10 @@ type generated = {
   pieces : Polyeval.compiled array;  (** one compiled evaluator per piece *)
   specials : (int64, float) Hashtbl.t;
       (** input bits -> stored double result (decoded oracle value) *)
+  spec_keys : int array;
+      (** the same special inputs as native ints (patterns fit 63 bits),
+          sorted ascending — the binary-search probe of the hot path *)
+  spec_vals : float array;  (** results matching [spec_keys] by index *)
   oracle : (int64, int64) Hashtbl.t;
       (** oracle round-to-odd results collected during generation; shared
           with verification *)

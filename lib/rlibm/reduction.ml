@@ -41,15 +41,50 @@ type params =
       k_exact : bool;
     }
 
+(* Caller-owned scratch for the allocation-free reduction.  The float
+   slots live in their own all-float record: OCaml stores such records
+   flat (unboxed fields), whereas a mutable float field in a mixed
+   int/float record would be boxed on every assignment — exactly the
+   per-element allocation the batch kernels exist to avoid.  The input
+   is passed through [sx] rather than as a float argument for the same
+   reason: without flambda, a float argument to a closure is boxed at
+   the call boundary. *)
+type scratch_floats = { mutable sx : float; mutable sr : float; mutable sc : float }
+type scratch = { sf : scratch_floats; mutable spiece : int; mutable sn : int }
+
+let scratch () =
+  { sf = { sx = 0.0; sr = 0.0; sc = 0.0 }; spiece = 0; sn = 0 }
+
+(* Constants a batch kernel needs to inline the analytic shortcut and the
+   output compensation without calling the option-allocating closures.
+   The log family needs no constants: its shortcut tests only the sign
+   and its compensation is [sc +. v]. *)
+type exp_consts = {
+  ek_scale : float;  (* log2 base *)
+  ek_hi_cut : float;  (* emax + 1.1: overflow threshold on t *)
+  ek_lo_cut : float;  (* deep-underflow threshold on t *)
+  ek_near_cut : float;  (* |t| below this (x <> 0): result hugs 1 *)
+  ek_huge : float;
+  ek_tiny : float;
+  ek_above_one : float;
+  ek_below_one : float;
+}
+
+type kernel = Exp_kernel of exp_consts | Log_kernel
+
 type t = {
   func : Oracle.func;
   pieces : int;
   params : params;
+  kernel : kernel;
   shortcut : float -> float option;
       (* analytic fast path (deep overflow/underflow, domain errors);
          [Some v] bypasses the polynomial entirely *)
   reduce : float -> reduced;
       (* valid on finite inputs for which [shortcut] returned [None] *)
+  reduce_into : scratch -> unit;
+      (* allocation-free variant: reads [sf.sx], writes [sf.sr],
+         [spiece], and [sn] (exp) / [sf.sc] (log) *)
 }
 
 (* ---------- exponential family ---------- *)
@@ -83,20 +118,53 @@ let exp_family func ~scale ~out_fmt ~pieces =
       Some (if x > 0.0 then v_above_one else v_below_one)
     else None
   in
-  let reduce x =
+  (* The hot-path body.  [reduce] below re-reads the results out of the
+     scratch record, so the two entry points cannot drift: every float
+     operation runs here, once. *)
+  let reduce_into (s : scratch) =
+    let x = s.sf.sx in
     let t = x *. scale in
     let n = Float.floor t in
     let r = t -. n in
-    let n = int_of_float n in
-    let piece = Stdlib.min (pieces - 1) (int_of_float (r *. float_of_int pieces)) in
+    s.sf.sr <- r;
+    s.sn <- int_of_float n;
+    s.spiece <-
+      Stdlib.min (pieces - 1) (int_of_float (r *. float_of_int pieces))
+  in
+  let reduce x =
+    let s = scratch () in
+    s.sf.sx <- x;
+    reduce_into s;
+    let n = s.sn in
     {
-      r;
-      piece;
+      r = s.sf.sr;
+      piece = s.spiece;
       oc = (fun v -> Float.ldexp v n);
       oc_inv = (fun q -> Rat.mul_pow2 q (-n));
     }
   in
-  { func; pieces; params = Exp_params { log2_base = scale }; shortcut; reduce }
+  let kernel =
+    Exp_kernel
+      {
+        ek_scale = scale;
+        ek_hi_cut = emax +. 1.1;
+        ek_lo_cut = lo_cut;
+        ek_near_cut = near_cut;
+        ek_huge = v_huge;
+        ek_tiny = v_tiny;
+        ek_above_one = v_above_one;
+        ek_below_one = v_below_one;
+      }
+  in
+  {
+    func;
+    pieces;
+    params = Exp_params { log2_base = scale };
+    kernel;
+    shortcut;
+    reduce;
+    reduce_into;
+  }
 
 (* ---------- logarithm family ---------- *)
 
@@ -152,29 +220,50 @@ let log_family func ~k_scale ~k_exact ~pieces ~table_bits =
     else if x < 0.0 then Some Float.nan
     else None
   in
-  let reduce x =
-    let m2, e2 = Float.frexp x in
-    let m = 2.0 *. m2 and k = e2 - 1 in
+  (* Hot-path body.  [Float.frexp] allocates a tuple per call, so the
+     decomposition x = 2^k * m, m in [1, 2), is done on the bits: force
+     the exponent field to 0 (biased 1023) and read k from the original
+     field.  This is exact — the mantissa is untouched — hence
+     bit-identical to the frexp route.  Double subnormals (possible only
+     for formats with a wider exponent range than binary64's normals)
+     are renormalized first by an exact 2^54 scale. *)
+  let reduce_into (s : scratch) =
+    let x0 = s.sf.sx in
+    let scaled = x0 < 0x1p-1022 in
+    let x = if scaled then x0 *. 0x1p54 else x0 in
+    let bits = Int64.bits_of_float x in
+    let e = Int64.to_int (Int64.shift_right_logical bits 52) land 0x7FF in
+    let m =
+      Int64.float_of_bits
+        (Int64.logor
+           (Int64.logand bits 0xF_FFFF_FFFF_FFFFL)
+           0x3FF0_0000_0000_0000L)
+    in
+    let k = e - 1023 - if scaled then 54 else 0 in
     let j = int_of_float ((m -. 1.0) *. tsize) in
     let f = 1.0 +. (float_of_int j /. tsize) in
     let r = (m -. f) /. f in
-    let c =
-      let kf = float_of_int k in
-      if k_exact then kf +. tbl.(j) else Float.fma kf k_scale tbl.(j)
-    in
-    let piece =
+    let kf = float_of_int k in
+    s.sf.sr <- r;
+    s.sf.sc <- (if k_exact then kf +. tbl.(j) else Float.fma kf k_scale tbl.(j));
+    s.spiece <-
       Stdlib.min (pieces - 1)
         (int_of_float (r *. tsize *. float_of_int pieces))
-    in
+  in
+  let reduce x =
+    let s = scratch () in
+    s.sf.sx <- x;
+    reduce_into s;
+    let c = s.sf.sc in
     {
-      r;
-      piece;
+      r = s.sf.sr;
+      piece = s.spiece;
       oc = (fun v -> c +. v);
       oc_inv = (fun q -> Rat.sub q (Rat.of_float c));
     }
   in
   let params = Log_params { table_bits; table = tbl; k_scale; k_exact } in
-  { func; pieces; params; shortcut; reduce }
+  { func; pieces; params; kernel = Log_kernel; shortcut; reduce; reduce_into }
 
 let make func ~out_fmt ~pieces ~table_bits =
   match (Funcspec.get func).Funcspec.family with

@@ -34,10 +34,51 @@ type params =
       k_exact : bool;  (** true for log2, where k * k_scale is exact *)
     }
 
+(** Caller-owned scratch for {!t.reduce_into}.  The float slots live in a
+    nested all-float record so they stay unboxed under mutation (a
+    mutable float field of a mixed record would be boxed on every
+    assignment); the input is passed through [sf.sx] instead of as a
+    float argument so no call-boundary boxing occurs either.  Allocate
+    one per chunk with {!scratch} and reuse it for every element. *)
+type scratch_floats = {
+  mutable sx : float;  (** in: the input *)
+  mutable sr : float;  (** out: reduced input *)
+  mutable sc : float;  (** out (log family): output-compensation addend *)
+}
+
+type scratch = {
+  sf : scratch_floats;
+  mutable spiece : int;  (** out: sub-domain index *)
+  mutable sn : int;  (** out (exp family): output-compensation exponent *)
+}
+
+val scratch : unit -> scratch
+
+(** Constants a batch kernel needs to inline the analytic shortcut and
+    the output compensation of the exponential family without going
+    through the option-allocating {!t.shortcut} closure. *)
+type exp_consts = {
+  ek_scale : float;  (** log2 of the base: t = x * ek_scale *)
+  ek_hi_cut : float;  (** t above this overflows: return [ek_huge] *)
+  ek_lo_cut : float;  (** t below this underflows: return [ek_tiny] *)
+  ek_near_cut : float;
+      (** 0 < |t| below this: return [ek_above_one] / [ek_below_one] *)
+  ek_huge : float;
+  ek_tiny : float;
+  ek_above_one : float;
+  ek_below_one : float;
+}
+
+(** Family tag for batch kernels.  [Log_kernel] carries nothing: the log
+    shortcut tests only [x <= 0.0] and its compensation is
+    [scratch.sf.sc +. v]. *)
+type kernel = Exp_kernel of exp_consts | Log_kernel
+
 type t = {
   func : Oracle.func;
   pieces : int;
   params : params;
+  kernel : kernel;  (** inlinable form of [shortcut] + compensation *)
   shortcut : float -> float option;
       (** analytic fast path: deep overflow/underflow for the
           exponentials, domain errors for the logarithms; [Some v]
@@ -45,6 +86,11 @@ type t = {
           every representation and mode *)
   reduce : float -> reduced;
       (** defined on finite doubles for which [shortcut] returns [None] *)
+  reduce_into : scratch -> unit;
+      (** allocation-free [reduce]: reads the input from [sf.sx] and
+          writes [sf.sr] and [spiece], plus [sn] (exp family) or [sf.sc]
+          (log family).  [reduce] is a thin wrapper around this body, so
+          the two entry points are bit-identical by construction. *)
 }
 
 (** [make func ~out_fmt ~pieces ~table_bits] builds the reduction family

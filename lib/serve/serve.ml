@@ -13,7 +13,24 @@ type entry = {
   e_impl : Genlibm.t;
 }
 
-type t = { t_key : string; t_entries : entry list }
+type t = {
+  t_key : string;
+  t_entries : entry list;
+  t_index : (string, entry) Hashtbl.t;
+      (* Oracle.name -> first entry serving that function.  Built once at
+         construction so [find] is a hash probe on a string key instead
+         of a linear scan comparing whole entries with polymorphic
+         equality (which walked the assembled implementations). *)
+}
+
+let mk key entries =
+  let idx = Hashtbl.create (List.length entries * 2) in
+  List.iter
+    (fun e ->
+      let name = Oracle.name e.e_func in
+      if not (Hashtbl.mem idx name) then Hashtbl.add idx name e)
+    entries;
+  { t_key = key; t_entries = entries; t_index = idx }
 
 (* Marshal-stable stored form.  Every field is scalar data: the func and
    scheme are constant constructors, the config a record of ints and
@@ -42,7 +59,7 @@ let snapshot_key specs =
 
 let key t = t.t_key
 let entries t = t.t_entries
-let find t func = List.find_opt (fun e -> e.e_func = func) t.t_entries
+let find t func = Hashtbl.find_opt t.t_index (Oracle.name func)
 
 (* Canonical closure-free form of an assembled implementation.  The
    specials are sorted by input bits: the hash table they rebuild into
@@ -132,12 +149,12 @@ let build ?log specs =
     | Ok stored ->
         Cache.store ~kind:"snapshot" ~key stored;
         logf (Printf.sprintf "snapshot %s: resolved and persisted" key);
-        Ok { t_key = key; t_entries = List.map assemble_stored stored }
+        Ok (mk key (List.map assemble_stored stored))
   in
   match (Cache.load ~kind:"snapshot" ~key : stored_entry list option) with
   | Some stored when stored_matches specs stored -> (
       try
-        let t = { t_key = key; t_entries = List.map assemble_stored stored } in
+        let t = mk key (List.map assemble_stored stored) in
         logf (Printf.sprintf "snapshot %s: loaded" key);
         Ok t
       with Invalid_argument _ ->
@@ -148,10 +165,40 @@ let build ?log specs =
       rebuild ()
   | None -> rebuild ()
 
+(* Both batch entry points drive the same chunked kernel sweep: the
+   static Parallel chunk grid partitions [0, n), each chunk runs the
+   zero-allocation Genlibm kernel over its disjoint slice of the
+   buffers, and since Genlibm.eval_bits_into is bit-identical to
+   eval_bits per element, the output is bit-identical to the scalar
+   path at every job count. *)
+let eval_entry_chunked (e : entry) ~src ~dst n =
+  Parallel.iter_chunks n (fun lo hi ->
+      Genlibm.eval_bits_into e.e_impl ~src ~dst ~lo ~hi)
+
+let eval_batch_into t func ~src ~dst =
+  match find t func with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Serve.eval_batch_into: %s is not in this snapshot"
+           (Oracle.name func))
+  | Some e ->
+      let n = Bigarray.Array1.dim src in
+      if Bigarray.Array1.dim dst < n then
+        invalid_arg "Serve.eval_batch_into: dst is shorter than src";
+      eval_entry_chunked e ~src ~dst n
+
+(* Compatibility wrapper over the kernel path: array in, array out. *)
 let eval_batch t func inputs =
   match find t func with
   | None ->
       invalid_arg
         (Printf.sprintf "Serve.eval_batch: %s is not in this snapshot"
            (Oracle.name func))
-  | Some e -> Parallel.map_array (fun x -> Genlibm.eval_bits e.e_impl x) inputs
+  | Some e ->
+      let n = Array.length inputs in
+      let src = Genlibm.create_src n and dst = Genlibm.create_dst n in
+      for i = 0 to n - 1 do
+        Bigarray.Array1.unsafe_set src i (Array.unsafe_get inputs i)
+      done;
+      eval_entry_chunked e ~src ~dst n;
+      Array.init n (fun i -> Bigarray.Array1.unsafe_get dst i)

@@ -17,11 +17,13 @@
     with {!Rlibm.Reduction.install_table}, so assembly never consults
     the table store or the oracle.
 
-    {!eval_batch} fans a batch of input bit patterns out over the
-    {!Parallel} pool.  The per-input function is {!Genlibm.eval_bits} of
-    the entry's assembled implementation, and the {!Parallel}
-    determinism contract applies: results are bit-identical for every
-    job count, and [-j 1] takes the exact sequential code path. *)
+    {!eval_batch_into} fans a batch of input bit patterns out over the
+    {!Parallel} pool, each chunk running the zero-allocation batch
+    kernel ({!Genlibm.eval_bits_into}) over its disjoint slice of the
+    caller-owned buffers.  The kernel is bit-identical to
+    {!Genlibm.eval_bits} per element and the {!Parallel} determinism
+    contract applies, so results are bit-identical to the scalar path
+    for every job count ([-j 1] is one sequential kernel sweep). *)
 
 (** One served function: the request that produced it and the assembled
     runnable implementation. *)
@@ -58,12 +60,22 @@ val key : t -> string
 (** Entries in request order. *)
 val entries : t -> entry list
 
-(** The first entry serving [func], if any. *)
+(** The first entry serving [func], if any — a hash probe on the
+    function name (the index is built at snapshot construction). *)
 val find : t -> Oracle.func -> entry option
 
-(** [eval_batch t func inputs] evaluates the served implementation of
-    [func] on every input bit pattern, fanned out over the {!Parallel}
-    pool; bit-identical at every job count ([-j 1] is the exact
-    sequential path).
+(** [eval_batch_into t func ~src ~dst] evaluates the served
+    implementation of [func] on every pattern of [src], writing
+    [dst.{i}] for each [i] in [\[0, dim src)].  The serving hot path:
+    chunks of the batch run the zero-allocation kernel concurrently
+    into disjoint slices of [dst]; results are bit-identical to
+    {!Genlibm.eval_bits} at every job count.
+    @raise Invalid_argument when the snapshot does not serve [func] or
+    [dst] is shorter than [src]. *)
+val eval_batch_into :
+  t -> Oracle.func -> src:Genlibm.src_buf -> dst:Genlibm.dst_buf -> unit
+
+(** [eval_batch t func inputs] is the array-in/array-out compatibility
+    wrapper over {!eval_batch_into} (copies through kernel buffers).
     @raise Invalid_argument when the snapshot does not serve [func]. *)
 val eval_batch : t -> Oracle.func -> int64 array -> float array

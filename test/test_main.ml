@@ -18,6 +18,7 @@ let () =
       ("cache", Test_cache.suite);
       ("pipeline", Test_pipeline.suite);
       ("serve", Test_serve.suite);
+      ("kernels", Test_kernels.suite);
       (* The determinism tests disable store persistence with the scoped
          Cache.with_persistence override, so suite order no longer
          matters for cache state. *)

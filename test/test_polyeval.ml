@@ -143,6 +143,53 @@ let prop_closure_matches_dag scheme =
              Int64.equal (Int64.bits_of_float fast)
                (Int64.bits_of_float reference)))
 
+(* ---------- bit-exact agreement: batch kernel vs closures ---------- *)
+
+let prop_eval_into_matches_closure scheme =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:400
+       ~name:
+         (Printf.sprintf "%s eval_into = scalar closure"
+            (Polyeval.scheme_name scheme))
+       QCheck2.Gen.(
+         let* d = int_range 0 10 in
+         let* coeffs = array_size (return (d + 1)) (float_range (-4.0) 4.0) in
+         let* xs = array_size (int_range 1 17) (float_range (-2.0) 2.0) in
+         let* lo = int_range 0 3 in
+         return (coeffs, xs, lo))
+       (fun (coeffs, xs, lo) ->
+         match Polyeval.compile scheme coeffs with
+         | None -> true
+         | Some c ->
+             let n = Array.length xs in
+             (* pad the window on both sides: slots outside [lo, hi)
+                must keep their sentinel *)
+             let len = lo + n + 1 in
+             let src = Float.Array.make len 0.0 in
+             let dst = Float.Array.make len Float.nan in
+             Array.iteri (fun i x -> Float.Array.set src (lo + i) x) xs;
+             Polyeval.eval_into scheme c.Polyeval.data ~src ~dst ~lo
+               ~hi:(lo + n);
+             let ok = ref (Float.is_nan (Float.Array.get dst (len - 1))) in
+             if lo > 0 then
+               ok := !ok && Float.is_nan (Float.Array.get dst (lo - 1));
+             Array.iteri
+               (fun i x ->
+                 let want = Int64.bits_of_float (c.Polyeval.eval x) in
+                 let got =
+                   Int64.bits_of_float (Float.Array.get dst (lo + i))
+                 in
+                 ok := !ok && Int64.equal want got)
+               xs;
+             !ok))
+
+let test_eval_into_knuth_bad_degree () =
+  let src = Float.Array.make 1 0.5 and dst = Float.Array.make 1 0.0 in
+  Alcotest.check_raises "knuth data length"
+    (Invalid_argument "Polyeval.eval_into: Knuth degree must be 4, 5 or 6")
+    (fun () ->
+      Polyeval.eval_into Polyeval.Knuth [| 1.0; 2.0 |] ~src ~dst ~lo:0 ~hi:1)
+
 (* ---------- algebraic identities ---------- *)
 
 let prop_exact_value_is_dense scheme =
@@ -226,8 +273,10 @@ let suite =
     ("knuth N/A cases", `Quick, test_knuth_na_cases);
     ("scheme names", `Quick, test_scheme_names);
     ("estrin = Algorithm 1 trace", `Quick, test_estrin_matches_algorithm1);
+    ("eval_into knuth bad degree", `Quick, test_eval_into_knuth_bad_degree);
     prop_knuth_identity;
   ]
   @ List.map prop_closure_matches_dag Polyeval.all_schemes
+  @ List.map prop_eval_into_matches_closure Polyeval.all_schemes
   @ List.map prop_exact_value_is_dense
       [ Polyeval.Horner; Polyeval.HornerFma; Polyeval.Estrin; Polyeval.EstrinFma ]

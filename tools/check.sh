@@ -6,7 +6,10 @@
 # staged pipeline (cold run vs warm run vs interrupted-then-resumed run:
 # bit-identical output, zero stage rebuilds when warm), and smoke-check
 # the servable snapshot layer (batched eval bit-identical to scalar at
-# -j 1 and -j N; a warm snapshot loads from exactly one store entry).
+# -j 1 and -j N; a warm snapshot loads from exactly one store entry),
+# and smoke-check the batch kernels (scalar-vs-kernel timings reported,
+# serve-throughput JSON artifact matches its schema, every row
+# bit-identical).
 # Usage: tools/check.sh [N]   (N = fan-out width, default 4)
 set -eu
 
@@ -99,9 +102,10 @@ echo "interrupted run resumed from stage 3, output bit-identical"
 echo "== servable snapshot smoke =="
 servedir=$(mktemp -d)
 serve1=$(mktemp) && serveN=$(mktemp) && servestats=$(mktemp)
+servebench=$(mktemp) && benchjson=$(mktemp)
 trap 'rm -f "$tmp1" "$tmpN" "$cold" "$poisoned" "$stats" \
        "$coldg" "$warmg" "$resumedg" "$stageout" "$warmstats" \
-       "$serve1" "$serveN" "$servestats"
+       "$serve1" "$serveN" "$servestats" "$servebench" "$benchjson"
      rm -rf "$cachedir" "$stagedir" "$resumedir" "$servedir"' EXIT
 # Cold build at -j 1: resolves through the pipeline, persists the
 # snapshot, and cross-checks every batched result against the scalar
@@ -122,5 +126,40 @@ if grep -Eq '^ *(oracle|intervals|constraints|poly|verdict|table) ' "$servestats
   echo "warm serve touched per-stage artifacts:"; cat "$servestats"; exit 1
 fi
 echo "snapshot: batched eval bit-identical at -j 1 and -j $N, warm load = 1 store entry"
+
+echo "== batch kernel smoke =="
+# serve --bench reports scalar-vs-kernel timings on stderr (stdout must
+# stay job-count-invariant for the diff above); the run also re-checks
+# the batched results against the scalar path (--check-scalar).
+RLIBM_CACHE_DIR="$servedir" dune exec --no-build bin/rlibm_gen.exe -- serve \
+  --func exp2 --func log2 --ebits 4 --prec 7 --check-scalar --bench \
+  -j "$N" > /dev/null 2> "$servebench"
+grep -Eq 'bench: scalar [0-9.]+ ns/eval, kernel [0-9.]+ ns/eval' "$servebench" \
+  || { echo "no kernel timings reported:"; cat "$servebench"; exit 1; }
+# Throughput harness: quick grid, small batch, JSON artifact.  The run
+# exits non-zero if any kernel result differs from the scalar path.
+RLIBM_CACHE_DIR="$servedir" dune exec --no-build bench/main.exe -- \
+  --serve-bench --quick --serve-batch-pow 10 --serve-json "$benchjson" \
+  -j "$N" > /dev/null
+python3 - "$benchjson" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("schema_version", "kind", "timestamp", "commit", "host",
+            "jobs", "input_bits", "batch_pow", "results"):
+    assert key in doc, f"missing envelope key {key!r}"
+assert doc["kind"] == "serve-throughput", doc["kind"]
+assert doc["schema_version"] == 1, doc["schema_version"]
+assert doc["results"], "no result rows"
+for row in doc["results"]:
+    for key in ("func", "scheme", "batch", "scalar_ns_per_eval",
+                "kernel_ns_per_eval", "scalar_evals_per_s",
+                "kernel_evals_per_s", "speedup",
+                "kernel_minor_words_per_eval", "bit_identical"):
+        assert key in row, f"missing row key {key!r}"
+    assert row["bit_identical"] is True, row
+    assert row["kernel_ns_per_eval"] > 0.0, row
+EOF
+echo "kernel timings reported, serve-throughput JSON schema OK"
 
 echo "== OK =="
