@@ -36,6 +36,16 @@
                                                     rows as JSON)
      dune exec bench/main.exe -- --serve-batch-pow N  (batch size 2^N;
                                                     default 16)
+     dune exec bench/main.exe -- --shard-bench     (oracle stage: cold
+                                                    unsharded vs cold
+                                                    sharded vs resumed
+                                                    from a half-filled
+                                                    shard store)
+     dune exec bench/main.exe -- --shard-json PATH (write the shard-bench
+                                                    rows as JSON)
+     dune exec bench/main.exe -- --shards S        (shard count for
+                                                    --shard-bench;
+                                                    default 4)
      dune exec bench/main.exe -- --cache-dir DIR   (relocate the store)
      dune exec bench/main.exe -- --cache-stats     (report artifact store
                                                     hit/miss/corrupt
@@ -479,6 +489,152 @@ let write_gen_json path ~jobs rows =
       Printf.fprintf oc "  ]\n");
   Printf.printf "wrote %s (%d generation timing rows)\n%!" path n
 
+(* ---------- oracle sharding: cold vs sharded vs resumed ---------- *)
+
+(* Wall time of the oracle stage alone, per function, each against a
+   fresh store directory: unsharded cold (the baseline single-artifact
+   run), sharded cold (same Ziv work plus S shard publishes and the
+   whole-table republish — the sharding overhead), and resumed (the
+   first half of the shards pre-published, as a killed warmer would
+   leave them; the resume must load those and compute only the rest).
+   The merged table is checked entry-identical against the unsharded
+   one — the sharding determinism contract, measured end to end. *)
+
+type shard_timing = {
+  s_func : Oracle.func;
+  s_cold_unsharded_s : float;
+  s_cold_sharded_s : float;
+  s_resume_s : float;
+  s_resume_hits : int;  (* shards loaded on resume *)
+  s_resume_misses : int;  (* shards computed on resume *)
+  s_identical : bool;  (* merged table = unsharded table *)
+}
+
+let measure_sharding funcs ~shards =
+  let saved = Cache.dir () in
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rlibm-bench-shard-%d" (Unix.getpid ()))
+  in
+  (try Sys.mkdir root 0o755 with Sys_error _ -> ());
+  let counter = ref 0 in
+  let fresh_dir () =
+    incr counter;
+    let d = Filename.concat root (string_of_int !counter) in
+    (try Sys.mkdir d 0o755 with Sys_error _ -> ());
+    Cache.set_dir d
+  in
+  let timed f =
+    Rlibm.Constraints.clear_memory_cache ();
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let sorted_entries tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+  in
+  Fun.protect
+    ~finally:(fun () -> Cache.set_dir saved)
+    (fun () ->
+      List.map
+        (fun func ->
+          let cfg = Rlibm.Config.mini_for func in
+          fresh_dir ();
+          let cold_un_s, unsharded =
+            timed (fun () -> Pipeline.oracle_stage ~cfg func)
+          in
+          let reference = sorted_entries unsharded in
+          fresh_dir ();
+          let cold_sh_s, sharded =
+            timed (fun () -> Pipeline.oracle_stage ~shards ~cfg func)
+          in
+          let identical = sorted_entries sharded = reference in
+          (* A killed warmer's store: the first half of the shards
+             published, nothing merged. *)
+          fresh_dir ();
+          List.iter
+            (fun k ->
+              Rlibm.Constraints.clear_memory_cache ();
+              ignore
+                (Pipeline.oracle_stage ~shards ~only_shard:k ~cfg func
+                  : (int64, int64) Hashtbl.t))
+            (List.init (shards / 2) Fun.id);
+          Cache.reset_stats ();
+          let resume_s, _ =
+            timed (fun () -> Pipeline.oracle_stage ~shards ~cfg func)
+          in
+          let hits, misses =
+            match List.assoc_opt "oracle-shard" (Cache.stats_by_kind ()) with
+            | Some s -> (s.Cache.hits, s.Cache.misses)
+            | None -> (0, 0)
+          in
+          let row =
+            {
+              s_func = func;
+              s_cold_unsharded_s = cold_un_s;
+              s_cold_sharded_s = cold_sh_s;
+              s_resume_s = resume_s;
+              s_resume_hits = hits;
+              s_resume_misses = misses;
+              s_identical = identical;
+            }
+          in
+          Printf.printf
+            "%-7s unsharded %6.2fs  sharded %6.2fs  resume %6.2fs (%d \
+             loaded, %d computed)  identical %s\n%!"
+            (Oracle.name func) cold_un_s cold_sh_s resume_s hits misses
+            (if identical then "yes" else "NO");
+          row)
+        funcs)
+
+let print_sharding ~shards rows =
+  Printf.printf
+    "== oracle sharding: cold vs %d-shard cold vs resumed (half \
+     pre-published) ==\n"
+    shards;
+  Printf.printf "%-7s %12s %12s %12s %10s %s\n" "f" "unsharded s" "sharded s"
+    "resume s" "overhead" "identical";
+  List.iter
+    (fun r ->
+      Printf.printf "%-7s %12.3f %12.3f %12.3f %9.1f%% %s\n"
+        (Oracle.name r.s_func) r.s_cold_unsharded_s r.s_cold_sharded_s
+        r.s_resume_s
+        (if r.s_cold_unsharded_s > 0.0 then
+           100.0 *. ((r.s_cold_sharded_s /. r.s_cold_unsharded_s) -. 1.0)
+         else 0.0)
+        (if r.s_identical then "yes" else "NO"))
+    rows;
+  print_newline ();
+  if List.exists (fun r -> not r.s_identical) rows then begin
+    print_endline "shard bench: merged table differs from the unsharded one";
+    exit 1
+  end
+
+let write_shard_json path ~jobs ~shards rows =
+  let n = List.length rows in
+  Bench_json.write_file path ~kind:"oracle-sharding" ~jobs
+    ~input_bits:(Softfp.width Rlibm.Config.mini_tin)
+    (fun oc ->
+      Printf.fprintf oc "  \"shards\": %d,\n  \"results\": [\n" shards;
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"func\": %S, \"cold_unsharded_s\": %.4f, \
+             \"cold_sharded_s\": %.4f, \"resume_s\": %.4f, \
+             \"resume_shard_hits\": %d, \"resume_shard_misses\": %d, \
+             \"sharding_overhead_pct\": %.2f, \"bit_identical\": %b}%s\n"
+            (Oracle.name r.s_func) r.s_cold_unsharded_s r.s_cold_sharded_s
+            r.s_resume_s r.s_resume_hits r.s_resume_misses
+            (if r.s_cold_unsharded_s > 0.0 then
+               100.0 *. ((r.s_cold_sharded_s /. r.s_cold_unsharded_s) -. 1.0)
+             else 0.0)
+            r.s_identical
+            (if i = n - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n");
+  Printf.printf "wrote %s (%d sharding timing rows)\n%!" path n
+
 (* ---------- serve-path throughput: scalar vs batch kernel ---------- *)
 
 (* Measures the serving hot path end to end: scalar = the pre-kernel
@@ -644,6 +800,18 @@ let () =
   let quick = has "--quick" in
   let serve_bench = has "--serve-bench" in
   let serve_json_path = Cli.opt_value [ "--serve-json" ] args in
+  let shard_bench = has "--shard-bench" in
+  let shard_json_path = Cli.opt_value [ "--shard-json" ] args in
+  let bench_shards =
+    match Cli.opt_value [ "--shards" ] args with
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some s when s >= 2 -> s
+        | _ ->
+            Printf.eprintf "bad --shards value %S (must be >= 2)\n" v;
+            exit 2)
+    | None -> 4
+  in
   let serve_batch_pow =
     match Cli.opt_value [ "--serve-batch-pow" ] args with
     | Some v -> (
@@ -658,8 +826,8 @@ let () =
   let all =
     not
       (has "--table1" || has "--table2" || has "--post-process"
-     || has "--correctness" || has "--cost" || serve_bench
-     || gen_json_path <> None)
+     || has "--correctness" || has "--cost" || serve_bench || shard_bench
+     || shard_json_path <> None || gen_json_path <> None)
   in
   Printf.printf
     "rlibm-fastpoly benchmark harness (%d functions x %d schemes, %d-bit \
@@ -692,6 +860,13 @@ let () =
     print_serve ~batch_pow:serve_batch_pow ~jobs rows;
     match serve_json_path with
     | Some path -> write_serve_json path ~jobs ~batch_pow:serve_batch_pow rows
+    | None -> ()
+  end;
+  if shard_bench || shard_json_path <> None then begin
+    let rows = measure_sharding funcs ~shards:bench_shards in
+    print_sharding ~shards:bench_shards rows;
+    match shard_json_path with
+    | Some path -> write_shard_json path ~jobs ~shards:bench_shards rows
     | None -> ()
   end;
   (match gen_json_path with

@@ -4,6 +4,7 @@
      rlibm_gen generate --func exp2 --scheme estrin-fma [--ebits 5 --prec 8]
      rlibm_gen stages   --func exp2 --scheme estrin-fma   (per-stage status)
      rlibm_gen warm     [--func log2] [--through poly] [-j N]
+                        [--shards S | --shard K/S]   (sharded oracle fill)
      rlibm_gen serve    [--func exp2 --func log2] [--check-scalar] [-j N]
      rlibm_gen oracle   --func log2 --x 1.5 [--prec 96]
      rlibm_gen cost     [--degree 5]
@@ -164,8 +165,8 @@ let stages_cmd =
 (* ---------- warm ---------- *)
 
 let warm_cmd =
-  let run func scheme_opt through ebits prec pieces table_bits jobs cache_dir
-      cache_stats =
+  let run func scheme_opt through ebits prec pieces table_bits shards shard
+      jobs cache_dir cache_stats =
     Cli.set_jobs jobs;
     Cli.set_cache_dir cache_dir;
     let through =
@@ -177,6 +178,15 @@ let warm_cmd =
             through;
           exit 2
     in
+    let shards, only_shard = Cli.resolve_shards ~shards ~shard in
+    (match (only_shard, through) with
+    | Some _, Pipeline.Oracle -> ()
+    | Some _, _ ->
+        Printf.eprintf
+          "--shard K/S warms a single oracle shard; combine it with \
+           --through oracle\n";
+        exit 2
+    | None, _ -> ());
     let funcs = Option.fold ~none:Oracle.all ~some:(fun f -> [ f ]) func in
     let schemes =
       match scheme_opt with Some s -> [ s ] | None -> Polyeval.paper_schemes
@@ -187,21 +197,41 @@ let warm_cmd =
     let tin = Softfp.make_fmt ~ebits ~prec in
     Printf.printf
       "warming pipeline stages through %s for %d functions over %d-bit \
-       inputs (%d finite values each, -j %d)\n%!"
+       inputs (%d finite values each, -j %d%s)\n%!"
       (Pipeline.stage_name through)
       (List.length pairs) (Softfp.width tin)
-      (Softfp.count_finite tin) (Parallel.jobs ());
-    let counts =
+      (Softfp.count_finite tin) (Parallel.jobs ())
+      (match (shards, only_shard) with
+      | 1, _ -> ""
+      | s, None -> Printf.sprintf ", %d oracle shards" s
+      | s, Some k -> Printf.sprintf ", oracle shard %d/%d only" k s);
+    let report =
       Pipeline.warm
         ~log:(fun s -> Printf.printf "  %s\n%!" s)
-        ~schemes ~through pairs
+        ~schemes ~through ~shards ?only_shard pairs
     in
     List.iter
       (fun (f, n) -> Printf.printf "  %s: %d oracle entries\n%!" (Oracle.name f) n)
-      counts;
-    Printf.printf "warmed %d functions under %s\n" (List.length counts)
-      (Cache.dir ());
-    Cli.report_cache_stats cache_stats
+      report.Pipeline.wm_entries;
+    (* A CI warm job must not exit 0 with a half-filled store: every
+       skipped generation is listed and turns the run into a failure. *)
+    (match report.Pipeline.wm_failed with
+    | [] ->
+        Printf.printf "warmed %d functions under %s\n"
+          (List.length report.Pipeline.wm_entries)
+          (Cache.dir ())
+    | failed ->
+        Printf.printf
+          "warmed %d functions under %s; %d generations failed (skipped):\n"
+          (List.length report.Pipeline.wm_entries)
+          (Cache.dir ()) (List.length failed);
+        List.iter
+          (fun (f, scheme, msg) ->
+            Printf.printf "  %s/%s: %s\n" (Oracle.name f)
+              (Polyeval.scheme_name scheme) msg)
+          failed);
+    Cli.report_cache_stats cache_stats;
+    if report.Pipeline.wm_failed <> [] then exit 1
   in
   let scheme_opt =
     Arg.(
@@ -225,11 +255,16 @@ let warm_cmd =
        ~doc:
          "Pre-fill the persistent artifact store: run the staged pipeline \
           through the requested stage for every function (or --func), so \
-          later generate/verify/bench runs start disk-warm")
+          later generate/verify/bench runs start disk-warm.  --shards S \
+          splits the oracle stage into resumable content-keyed shard \
+          artifacts (kill and re-run, or run several processes against \
+          one store); --shard K/S warms a single shard.  Exits non-zero \
+          if any generation was skipped.")
     Term.(
       const run $ Cli.func_arg $ scheme_opt $ through $ Cli.ebits_arg
-      $ Cli.prec_arg $ pieces_arg $ table_bits_arg $ Cli.jobs_arg
-      $ Cli.cache_dir_arg $ Cli.cache_stats_arg)
+      $ Cli.prec_arg $ pieces_arg $ table_bits_arg $ Cli.shards_arg
+      $ Cli.shard_arg $ Cli.jobs_arg $ Cli.cache_dir_arg
+      $ Cli.cache_stats_arg)
 
 (* ---------- serve ---------- *)
 

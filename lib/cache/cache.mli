@@ -1,5 +1,6 @@
-(** Hardened persistent store for expensive binary artifacts (oracle
-    tables today; shard manifests and serving snapshots later).
+(** Hardened persistent store for expensive binary artifacts: oracle
+    tables and their per-range shards (kind ["oracle-shard"]), the
+    per-stage pipeline artifacts, and serving snapshots.
 
     The previous ad-hoc cache wrote raw [Marshal] blobs and swallowed
     every load error, so a truncated, bit-flipped or layout-drifted file

@@ -53,12 +53,71 @@ let prec_arg =
     & info [ "prec" ]
         ~doc:"Precision (significand bits incl. hidden) of the input format.")
 
+let shards_arg =
+  let doc =
+    "Split the oracle stage into $(docv) fixed, content-keyed shard \
+     artifacts (kind oracle-shard).  Published shards are loaded, never \
+     recomputed, so a killed warm resumes where it stopped and several \
+     processes can fill one store cooperatively.  The merged table is \
+     bit-identical to an unsharded run."
+  in
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"S" ~doc)
+
+let shard_spec_conv =
+  let parse s =
+    let bad () =
+      Error
+        (`Msg
+          (Printf.sprintf "bad shard spec %S (expected K/S with 0 <= K < S)" s))
+    in
+    match String.index_opt s '/' with
+    | None -> bad ()
+    | Some i -> (
+        let k = String.sub s 0 i
+        and n = String.sub s (i + 1) (String.length s - i - 1) in
+        match (int_of_string_opt k, int_of_string_opt n) with
+        | Some k, Some n when n >= 1 && k >= 0 && k < n -> Ok (k, n)
+        | _ -> bad ())
+  in
+  let print fmt (k, n) = Format.fprintf fmt "%d/%d" k n in
+  Arg.conv (parse, print)
+
+let shard_arg =
+  let doc =
+    "Warm exactly oracle shard K of S and stop (implies a shard count of \
+     S; for distributed drivers that give each invocation one shard).  \
+     Only meaningful with $(b,--through oracle)."
+  in
+  Arg.(
+    value
+    & opt (some shard_spec_conv) None
+    & info [ "shard" ] ~docv:"K/S" ~doc)
+
+(* Reconcile --shards S and --shard K/S: the spec's S wins but must not
+   contradict an explicit --shards. *)
+let resolve_shards ~shards ~shard =
+  match (shards, shard) with
+  | None, None -> (1, None)
+  | Some s, None ->
+      if s < 1 then begin
+        Printf.eprintf "bad --shards value %d (must be >= 1)\n" s;
+        exit 2
+      end;
+      (s, None)
+  | None, Some (k, s) -> (s, Some k)
+  | Some s, Some (k, s') ->
+      if s <> s' then begin
+        Printf.eprintf "--shards %d contradicts --shard %d/%d\n" s k s';
+        exit 2
+      end;
+      (s, Some k)
+
 let jobs_arg =
   let doc =
     "Fan the oracle construction, generation loop and verification out over \
      $(docv) domains (deterministic: the output is bit-identical for every \
-     value).  Defaults to the machine's core count; 1 takes the exact \
-     sequential code path."
+     value).  Precedence: this flag, else $(b,RLIBM_JOBS), else the \
+     machine's core count; 1 takes the exact sequential code path."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 

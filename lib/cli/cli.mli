@@ -29,7 +29,26 @@ val prec_arg : int Cmdliner.Term.t
 (** [--prec], default 8. *)
 
 val jobs_arg : int option Cmdliner.Term.t
-(** [-j]/[--jobs]; [None] means the machine's core count. *)
+(** [-j]/[--jobs]; [None] falls back to {!Parallel.default_jobs}
+    ([RLIBM_JOBS] if set and valid, else the core count) — the flag
+    always wins over the environment. *)
+
+val shards_arg : int option Cmdliner.Term.t
+(** [--shards S]: split the oracle stage into [S] content-keyed shard
+    artifacts; [None] means unsharded. *)
+
+val shard_spec_conv : (int * int) Cmdliner.Arg.conv
+(** Parses ["K/S"] with [0 <= K < S] into [(K, S)]. *)
+
+val shard_arg : (int * int) option Cmdliner.Term.t
+(** [--shard K/S]: warm exactly oracle shard [K] of [S] and stop. *)
+
+val resolve_shards :
+  shards:int option -> shard:(int * int) option -> int * int option
+(** Reconcile [--shards] and [--shard K/S] into
+    [(shard_count, only_shard)]: the spec's [S] implies the count and
+    must not contradict an explicit [--shards]; exits with code 2 on a
+    contradiction or a non-positive count. *)
 
 val cache_dir_arg : string option Cmdliner.Term.t
 (** [--cache-dir DIR]; overrides [RLIBM_CACHE_DIR]. *)

@@ -11,13 +11,29 @@
 
 (* ---------- job count ---------- *)
 
+(* A malformed RLIBM_JOBS used to be silently swallowed, while the -j
+   flag exits 2 on the same input — the env path now at least says what
+   it ignored (once; default_jobs is called repeatedly). *)
+let warned_bad_jobs_env = ref false
+
 let default_jobs () =
   match Sys.getenv_opt "RLIBM_JOBS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some s when String.trim s = "" -> Domain.recommended_domain_count ()
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some j when j >= 1 -> j
-      | _ -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+      | _ ->
+          let fallback = Domain.recommended_domain_count () in
+          if not !warned_bad_jobs_env then begin
+            warned_bad_jobs_env := true;
+            Printf.eprintf
+              "warning: ignoring invalid RLIBM_JOBS=%s (expected a positive \
+               integer); using %d job%s\n%!"
+              s fallback
+              (if fallback = 1 then "" else "s")
+          end;
+          fallback)
 
 let current_jobs = ref 0 (* 0 = not yet initialized *)
 

@@ -29,10 +29,10 @@
     If [f] raises, the exception from the lowest-numbered failing chunk
     is re-raised on the caller's domain after all chunks finish. *)
 
-(** Number of jobs the next fan-out will use.  Defaults to
-    [Domain.recommended_domain_count ()], overridable with the
-    [RLIBM_JOBS] environment variable and {!set_jobs} (the [-j] flag of
-    the executables). *)
+(** Number of jobs the next fan-out will use.  Precedence: {!set_jobs}
+    (the [-j] flag of the executables) wins over the [RLIBM_JOBS]
+    environment variable, which wins over
+    [Domain.recommended_domain_count ()]. *)
 val jobs : unit -> int
 
 (** [set_jobs j] fixes the job count (clamped to at least 1).  An
@@ -40,8 +40,11 @@ val jobs : unit -> int
     lazily starts [j - 1] workers (the caller is the [j]-th). *)
 val set_jobs : int -> unit
 
-(** The default job count: [RLIBM_JOBS] if set and positive, otherwise
-    [Domain.recommended_domain_count ()]. *)
+(** The default job count: [RLIBM_JOBS] if set (non-empty) and a
+    positive integer, otherwise [Domain.recommended_domain_count ()].
+    A malformed value falls back to the core count with a one-time
+    warning on stderr (the [-j] flag, by contrast, rejects bad values
+    outright — the flag always wins over the environment). *)
 val default_jobs : unit -> int
 
 (** [map_array ?min f a] is [Array.map f a], fanned out when

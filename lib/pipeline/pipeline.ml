@@ -60,6 +60,22 @@ let oracle_key ~(cfg : Rlibm.Config.t) func =
   Rlibm.Constraints.oracle_cache_key ~func ~tin:cfg.Rlibm.Config.tin
     ~tout:(Rlibm.Config.tout cfg)
 
+(* Layout version of the marshalled oracle-shard payload (an
+   (input, result) pair array).  Also the grid version: bumping it
+   orphans every shard of every grid, so a change to either the payload
+   layout or the partition rule can never mix old and new shards. *)
+let shard_version = 1
+
+(* Shard k of [shards] over an n-input universe covers the bit range
+   [k*n/shards, (k+1)*n/shards) of the deterministic input enumeration —
+   the same static-partition rule as Parallel's chunk grid, so the grid
+   depends only on (n, shards), never on the job count or scheduling. *)
+let shard_range ~n ~shards k = (k * n / shards, (k + 1) * n / shards)
+
+let oracle_shard_key ~cfg ~shards ~index func =
+  Printf.sprintf "%s-sh%d.%d-shv%d" (oracle_key ~cfg func) index shards
+    shard_version
+
 let intervals_key ~cfg func =
   Printf.sprintf "%s-ivl-v%d" (base ~cfg func) v_intervals
 
@@ -136,23 +152,131 @@ let inputs_of (cfg : Rlibm.Config.t) =
 
 (* ---------- stage 1: oracle table ---------- *)
 
+(* Does the table still miss a covered (finite, non-shortcut) input of
+   [inputs.(lo .. hi-1)]?  Cheap (hash lookups only) — this is what lets
+   a fully warm table short-circuit every shard without touching the
+   store. *)
+let range_incomplete ~(cfg : Rlibm.Config.t) ~(family : Rlibm.Reduction.t)
+    ~(inputs : int64 array) ~(oracle : (int64, int64) Hashtbl.t) ~lo ~hi =
+  let tin = cfg.Rlibm.Config.tin in
+  let rec scan i =
+    i < hi
+    && ((Softfp.is_finite tin inputs.(i)
+        && family.Rlibm.Reduction.shortcut (Softfp.to_float tin inputs.(i))
+           = None
+        && not (Hashtbl.mem oracle inputs.(i)))
+       || scan (i + 1))
+  in
+  scan lo
+
 (* The oracle stage is incremental rather than load-or-compute: the
    shared table may be partially filled (by earlier configs of the same
    formats), and completeness — not mere presence — is what "hit"
-   means.  The scan is cheap (hash lookups); the Ziv loops are not. *)
-let oracle_stage ?log ~(cfg : Rlibm.Config.t) func =
+   means.  The scan is cheap (hash lookups); the Ziv loops are not.
+
+   With [shards > 1] the input universe splits into the fixed
+   [shard_range] grid and each shard becomes its own content-keyed
+   store artifact (kind ["oracle-shard"]): a shard already published is
+   loaded, never recomputed — which is what makes an interrupted warm
+   resumable and lets several processes fill one store cooperatively
+   (the O_EXCL-temp publish protocol of {!Cache} keeps racing writers
+   safe; identical content makes the race benign).  Shards install into
+   the shared table in shard-index order — exactly the global input
+   order — so the republished whole-table artifact is byte-identical to
+   an unsharded run's.  [only_shard] restricts the invocation to one
+   shard (for distributed drivers); the whole table is then left
+   unassembled. *)
+let oracle_stage ?log ?(shards = 1) ?only_shard ~(cfg : Rlibm.Config.t) func =
+  if shards < 1 then
+    invalid_arg "Pipeline.oracle_stage: shard count must be positive";
+  (match only_shard with
+  | Some k when k < 0 || k >= shards ->
+      invalid_arg
+        (Printf.sprintf
+           "Pipeline.oracle_stage: shard index %d outside [0, %d)" k shards)
+  | _ -> ());
   let tin = cfg.Rlibm.Config.tin and tout = Rlibm.Config.tout cfg in
   let key = oracle_key ~cfg func in
   let t0 = Unix.gettimeofday () in
   let oracle = Rlibm.Constraints.oracle_table ~func ~tin ~tout in
-  let computed =
-    Rlibm.Constraints.ensure_oracle ~cfg ~family:(family_of ~cfg func)
-      ~inputs:(inputs_of cfg) ~oracle
-  in
-  if computed > 0 then Rlibm.Constraints.persist_oracle_table ~func ~tin ~tout;
-  record ?log Oracle key
-    (if computed = 0 then Hit else Rebuilt)
-    (Unix.gettimeofday () -. t0);
+  if shards = 1 && only_shard = None then begin
+    let computed =
+      Rlibm.Constraints.ensure_oracle ~cfg ~family:(family_of ~cfg func)
+        ~inputs:(inputs_of cfg) ~oracle
+    in
+    if computed > 0 then
+      Rlibm.Constraints.persist_oracle_table ~func ~tin ~tout;
+    record ?log Oracle key
+      (if computed = 0 then Hit else Rebuilt)
+      (Unix.gettimeofday () -. t0)
+  end
+  else begin
+    let family = family_of ~cfg func in
+    let inputs = inputs_of cfg in
+    let n = Array.length inputs in
+    let indices =
+      match only_shard with
+      | Some k -> [ k ]
+      | None -> List.init shards Fun.id
+    in
+    let computed = ref 0 and installed = ref 0 in
+    List.iter
+      (fun k ->
+        let lo, hi = shard_range ~n ~shards k in
+        let skey = oracle_shard_key ~cfg ~shards ~index:k func in
+        let st0 = Unix.gettimeofday () in
+        let shard_line status entries =
+          match log with
+          | Some f ->
+              f
+                (Printf.sprintf
+                   "oracle shard %d/%d %-7s %7.3fs  %6d entries  %s" k shards
+                   status
+                   (Unix.gettimeofday () -. st0)
+                   entries skey)
+          | None -> ()
+        in
+        if not (range_incomplete ~cfg ~family ~inputs ~oracle ~lo ~hi) then
+          (* Already covered by the merged table: no store traffic. *)
+          shard_line "hit" 0
+        else
+          match
+            (Cache.load ~kind:"oracle-shard" ~key:skey
+              : (int64 * int64) array option)
+          with
+          | Some pairs ->
+              Array.iter (fun (x, y) -> Hashtbl.replace oracle x y) pairs;
+              installed := !installed + Array.length pairs;
+              shard_line "hit" (Array.length pairs)
+          | None ->
+              let pairs =
+                Rlibm.Constraints.oracle_range ~cfg ~family ~inputs ~lo ~hi
+                  ~known:(fun _ -> false)
+              in
+              (* Publish the shard before merging so a kill after this
+                 point never loses the completed Ziv work. *)
+              Cache.store ~kind:"oracle-shard" ~key:skey pairs;
+              Array.iter (fun (x, y) -> Hashtbl.replace oracle x y) pairs;
+              computed := !computed + Array.length pairs;
+              installed := !installed + Array.length pairs;
+              shard_line "rebuilt" (Array.length pairs))
+      indices;
+    (match only_shard with
+    | Some k ->
+        record ?log Oracle
+          (oracle_shard_key ~cfg ~shards ~index:k func)
+          (if !computed = 0 then Hit else Rebuilt)
+          (Unix.gettimeofday () -. t0)
+    | None ->
+        (* Republish the assembled whole-table artifact whenever any
+           shard contributed, so downstream stages and unsharded runs
+           keep loading the single merged entry they always have. *)
+        if !installed > 0 then
+          Rlibm.Constraints.persist_oracle_table ~func ~tin ~tout;
+        record ?log Oracle key
+          (if !computed = 0 then Hit else Rebuilt)
+          (Unix.gettimeofday () -. t0))
+  end;
   oracle
 
 (* ---------- stage 2: rounding intervals ---------- *)
@@ -234,37 +358,53 @@ let run_stages ?log ?(narrow = true) ~cfg ~scheme func =
   in
   (per_stage, result)
 
-let warm ?log ?(schemes = Polyeval.paper_schemes) ?(through = Verdict) pairs =
-  let depth = rank through in
-  List.map
-    (fun (func, cfg) ->
-      let oracle = oracle_stage ?log ~cfg func in
-      if depth >= rank Intervals then
-        ignore
-          (intervals_stage ?log ~cfg func
-            : Rlibm.Constraints.rounding_interval array);
-      if depth >= rank Constraints then
-        ignore
-          (constraints_stage ?log ~cfg func : Rlibm.Constraints.build_result);
-      if depth >= rank Poly then
-        List.iter
-          (fun scheme ->
-            let outcome =
-              if depth >= rank Verdict then
-                Result.map ignore (verified ?log ~cfg ~scheme func)
-              else Result.map ignore (generate ?log ~cfg ~scheme func)
-            in
-            match outcome with
-            | Ok () -> ()
-            | Error msg -> (
-                match log with
-                | Some f ->
-                    f
-                      (Printf.sprintf "%s/%s: generation failed: %s"
-                         (Oracle.name func)
-                         (Polyeval.scheme_name scheme)
-                         msg)
-                | None -> ()))
-          schemes;
-      (func, Hashtbl.length oracle))
-    pairs
+type warm_report = {
+  wm_entries : (Oracle.func * int) list;
+  wm_failed : (Oracle.func * Polyeval.scheme * string) list;
+}
+
+let warm ?log ?(schemes = Polyeval.paper_schemes) ?(through = Verdict)
+    ?(shards = 1) ?only_shard pairs =
+  let depth =
+    (* A single-shard invocation is a distributed-driver slice of the
+       oracle stage: running any deeper stage would silently trigger the
+       full oracle computation the caller is trying to split up. *)
+    match only_shard with Some _ -> rank Oracle | None -> rank through
+  in
+  let failed = ref [] in
+  let entries =
+    List.map
+      (fun (func, cfg) ->
+        let oracle = oracle_stage ?log ~shards ?only_shard ~cfg func in
+        if depth >= rank Intervals then
+          ignore
+            (intervals_stage ?log ~cfg func
+              : Rlibm.Constraints.rounding_interval array);
+        if depth >= rank Constraints then
+          ignore
+            (constraints_stage ?log ~cfg func : Rlibm.Constraints.build_result);
+        if depth >= rank Poly then
+          List.iter
+            (fun scheme ->
+              let outcome =
+                if depth >= rank Verdict then
+                  Result.map ignore (verified ?log ~cfg ~scheme func)
+                else Result.map ignore (generate ?log ~cfg ~scheme func)
+              in
+              match outcome with
+              | Ok () -> ()
+              | Error msg ->
+                  failed := (func, scheme, msg) :: !failed;
+                  (match log with
+                  | Some f ->
+                      f
+                        (Printf.sprintf "%s/%s: generation failed: %s"
+                           (Oracle.name func)
+                           (Polyeval.scheme_name scheme)
+                           msg)
+                  | None -> ()))
+            schemes;
+        (func, Hashtbl.length oracle))
+      pairs
+  in
+  { wm_entries = entries; wm_failed = List.rev !failed }

@@ -60,6 +60,24 @@ val oracle_key : cfg:Rlibm.Config.t -> Oracle.func -> string
 val intervals_key : cfg:Rlibm.Config.t -> Oracle.func -> string
 val constraints_key : cfg:Rlibm.Config.t -> Oracle.func -> string
 
+(** {2 Oracle shards}
+
+    The oracle stage can be split into [shards] fixed sub-artifacts
+    (kind ["oracle-shard"]).  Shard [k] covers the input bit range
+    [\[k*n/shards, (k+1)*n/shards)] of the deterministic input
+    enumeration — the same static-partition rule as {!Parallel}'s chunk
+    grid, so the grid depends only on the universe size and the shard
+    count, never on [-j].  Each shard's key derives from {!oracle_key}
+    plus [(shard_index, shard_count, shard_version)]; bumping the
+    version constant orphans every published shard at once. *)
+
+val shard_range : n:int -> shards:int -> int -> int * int
+(** [shard_range ~n ~shards k] is shard [k]'s half-open input index
+    range.  The ranges partition [\[0, n)] in order. *)
+
+val oracle_shard_key :
+  cfg:Rlibm.Config.t -> shards:int -> index:int -> Oracle.func -> string
+
 val poly_key :
   cfg:Rlibm.Config.t -> scheme:Polyeval.scheme -> Oracle.func -> string
 
@@ -97,13 +115,29 @@ val pp_event : Format.formatter -> event -> unit
 
 val oracle_stage :
   ?log:(string -> unit) ->
+  ?shards:int ->
+  ?only_shard:int ->
   cfg:Rlibm.Config.t ->
   Oracle.func ->
   (int64, int64) Hashtbl.t
 (** Stage 1: the shared oracle table, complete for every finite
     non-shortcut input of [cfg.tin].  [Hit] when the (memoized or
     loaded) table already covered them; otherwise the missing Ziv loops
-    fan out and the table is republished. *)
+    fan out and the table is republished.
+
+    [shards > 1] (default [1]) splits the stage into the fixed
+    {!shard_range} grid: each shard loads from the store when published
+    ({e cooperative fill} — a killed or concurrent warmer's completed
+    shards are never recomputed), computes and publishes otherwise, and
+    the shards merge into the whole table in shard-index order — the
+    global input order — so the republished whole-table artifact is
+    byte-identical to an unsharded run's.  The assembled table (and
+    every downstream stage) is bit-identical for every [shards] and
+    every [-j].  [only_shard] restricts the invocation to that single
+    shard and skips the merge/republish — the distributed-driver mode;
+    the returned table is then possibly partial.
+    @raise Invalid_argument when [shards < 1] or [only_shard] is outside
+    [\[0, shards)]. *)
 
 val intervals_stage :
   ?log:(string -> unit) ->
@@ -155,14 +189,30 @@ val run_stages :
     report.  When the polynomial stage fails, the verdict stage is
     skipped and the event list has four entries. *)
 
+type warm_report = {
+  wm_entries : (Oracle.func * int) list;
+      (** per function, the oracle-table entry count after warming *)
+  wm_failed : (Oracle.func * Polyeval.scheme * string) list;
+      (** every skipped polynomial/verdict generation, in encounter
+          order — empty means the store is fully pre-filled *)
+}
+
 val warm :
   ?log:(string -> unit) ->
   ?schemes:Polyeval.scheme list ->
   ?through:stage ->
+  ?shards:int ->
+  ?only_shard:int ->
   (Oracle.func * Rlibm.Config.t) list ->
-  (Oracle.func * int) list
+  warm_report
 (** Pre-fill the store: for each [(func, cfg)] run the pipeline through
     [through] (default {!Verdict}; the polynomial and verdict stages run
     once per scheme in [schemes], default {!Polyeval.paper_schemes}).
-    Returns each function's oracle-table entry count.  Generation
-    failures are logged and skipped — warming is best-effort. *)
+    [shards]/[only_shard] are passed to {!oracle_stage}; with
+    [only_shard] set the invocation stops after that oracle shard
+    regardless of [through] (a deeper stage would trigger the very
+    whole-universe computation the shard split avoids).  Generation
+    failures are logged and skipped — warming stays best-effort — but
+    every skip is reported in [wm_failed] so drivers (CI warm jobs in
+    particular) can fail loudly instead of silently half-filling the
+    store. *)

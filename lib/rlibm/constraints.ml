@@ -105,14 +105,18 @@ let persist_oracle_table ~func ~(tin : Softfp.fmt) ~(tout : Softfp.fmt) =
    so the staged artifact pipeline (lib/pipeline) can persist and resume
    each one independently; [build] composes them unchanged. *)
 
-(* Stage body 1: ensure [oracle] holds the round-to-odd result of every
-   finite, non-shortcut input.  Missing entries are computed in a pure
-   parallel fan-out (the table is read, never written, during the sweep)
-   and installed on the driver in input order.  Returns the number of
-   entries computed — 0 means the table was already complete. *)
-let ensure_oracle ~(cfg : Config.t) ~(family : Reduction.t)
-    ~(inputs : int64 array) ~(oracle : (int64, int64) Hashtbl.t) =
+(* Stage body 1, per-range form: the round-to-odd result of every
+   finite, non-shortcut input of [inputs.(lo .. hi-1)] not claimed by
+   [known], as (input, result) pairs in input order.  The Ziv loops fan
+   out across the domain pool; the pair list is assembled on the driver,
+   so the result is bit-identical at every job count.  With
+   [known = fun _ -> false] the output is a pure function of
+   (func, tin, tout, range) — which is what makes a range a
+   content-keyable shard artifact (lib/pipeline's oracle shards). *)
+let oracle_range ~(cfg : Config.t) ~(family : Reduction.t)
+    ~(inputs : int64 array) ~lo ~hi ~(known : int64 -> bool) =
   let tin = cfg.tin and tout = Config.tout cfg in
+  let slice = Array.sub inputs lo (Stdlib.max 0 (hi - lo)) in
   let fresh =
     Parallel.map_array
       (fun x ->
@@ -121,25 +125,35 @@ let ensure_oracle ~(cfg : Config.t) ~(family : Reduction.t)
           let xf = Softfp.to_float tin x in
           match family.shortcut xf with
           | Some _ -> None (* analytic fast path; checked during verification *)
-          | None -> (
-              match Hashtbl.find_opt oracle x with
-              | Some _ -> None
-              | None ->
-                  Some
-                    (Oracle.correctly_round family.func (Softfp.to_rat tin x)
-                       ~fmt:tout ~mode:Softfp.RTO)))
-      inputs
+          | None ->
+              if known x then None
+              else
+                Some
+                  ( x,
+                    Oracle.correctly_round family.func (Softfp.to_rat tin x)
+                      ~fmt:tout ~mode:Softfp.RTO ))
+      slice
   in
-  let computed = ref 0 in
-  Array.iteri
-    (fun i x ->
-      match fresh.(i) with
-      | None -> ()
-      | Some y ->
-          Hashtbl.replace oracle x y;
-          incr computed)
-    inputs;
-  !computed
+  let pairs = ref [] in
+  for i = Array.length fresh - 1 downto 0 do
+    match fresh.(i) with None -> () | Some p -> pairs := p :: !pairs
+  done;
+  Array.of_list !pairs
+
+(* Stage body 1: ensure [oracle] holds the round-to-odd result of every
+   finite, non-shortcut input.  Missing entries are computed by the pure
+   per-range body above (the table is read, never written, during the
+   sweep) and installed on the driver in input order.  Returns the
+   number of entries computed — 0 means the table was already
+   complete. *)
+let ensure_oracle ~(cfg : Config.t) ~(family : Reduction.t)
+    ~(inputs : int64 array) ~(oracle : (int64, int64) Hashtbl.t) =
+  let pairs =
+    oracle_range ~cfg ~family ~inputs ~lo:0 ~hi:(Array.length inputs)
+      ~known:(fun x -> Hashtbl.mem oracle x)
+  in
+  Array.iter (fun (x, y) -> Hashtbl.replace oracle x y) pairs;
+  Array.length pairs
 
 (* One covered input's rounding interval: the round-to-odd oracle result
    and the target interval it induces in H = binary64. *)

@@ -61,9 +61,28 @@ val build :
     Pure computations (no disk I/O beyond the shared oracle memo the
     caller hands in) with the same determinism contract as [build]. *)
 
+(** [oracle_range ~cfg ~family ~inputs ~lo ~hi ~known] computes the
+    round-to-odd result of every finite, non-shortcut input of
+    [inputs.(lo .. hi-1)] for which [known] is [false], as
+    [(input, result)] pairs in input order (parallel fan-out,
+    driver-ordered assembly).  [known] is a coverage predicate — pass
+    [Hashtbl.mem table] to skip entries a shared table already holds, or
+    [fun _ -> false] for the pure form whose output depends only on
+    [(func, tin, tout, lo, hi)]; the latter is what the staged
+    pipeline's content-keyed oracle {e shards} persist. *)
+val oracle_range :
+  cfg:Config.t ->
+  family:Reduction.t ->
+  inputs:int64 array ->
+  lo:int ->
+  hi:int ->
+  known:(int64 -> bool) ->
+  (int64 * int64) array
+
 (** [ensure_oracle ~cfg ~family ~inputs ~oracle] fills [oracle] with the
     round-to-odd result of every finite, non-shortcut input that is not
-    already present (parallel fan-out, driver-side install in input
+    already present ({!oracle_range} over the whole input set with
+    [known = Hashtbl.mem oracle], installed on the driver in input
     order).  Returns the number of entries computed; [0] means the table
     already covered the inputs. *)
 val ensure_oracle :

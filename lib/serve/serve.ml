@@ -120,7 +120,31 @@ let stored_matches specs stored =
          se.se_func = f && se.se_scheme = scheme && se.se_cfg = cfg)
        specs stored
 
+(* The name index is first-entry-wins, so a duplicate function in the
+   spec list would silently shadow every later (func, scheme, cfg)
+   behind the first: [find]/[eval_batch] would serve a different
+   polynomial than the caller requested.  Reject the ambiguity up
+   front. *)
+let duplicate_func specs =
+  let seen = Hashtbl.create 8 in
+  List.find_opt
+    (fun (f, _, _) ->
+      let name = Oracle.name f in
+      Hashtbl.mem seen name
+      ||
+      (Hashtbl.add seen name ();
+       false))
+    specs
+
 let build ?log specs =
+  match duplicate_func specs with
+  | Some (f, _, _) ->
+      Error
+        (Printf.sprintf
+           "duplicate function %s in snapshot spec (lookups are per-function, \
+            so later entries would be shadowed)"
+           (Oracle.name f))
+  | None ->
   let key = snapshot_key specs in
   let logf s = match log with Some f -> f s | None -> () in
   let rebuild () =

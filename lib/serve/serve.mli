@@ -49,7 +49,11 @@ val snapshot_key :
     (validating that every stored entry matches its request), otherwise
     resolves each request through {!Pipeline.generate} and persists the
     result.  [Error] reports the first request whose generation failed;
-    nothing is persisted in that case. *)
+    nothing is persisted in that case.  A spec list naming the same
+    function twice is rejected with [Error] before any resolution:
+    lookups ({!find}, the batch entry points) are per-function, so the
+    later entry could never be served — it would be silently shadowed
+    by the first. *)
 val build :
   ?log:(string -> unit) ->
   (Oracle.func * Polyeval.scheme * Rlibm.Config.t) list ->

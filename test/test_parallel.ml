@@ -99,6 +99,32 @@ let test_sequential_path () =
       Parallel.iter_chunks 100 (fun lo hi ->
           Alcotest.(check (pair int int)) "single chunk" (0, 100) (lo, hi)))
 
+(* ---------- RLIBM_JOBS parsing ---------- *)
+
+let test_jobs_env_fallback () =
+  let saved = Sys.getenv_opt "RLIBM_JOBS" in
+  let restore () =
+    (* putenv cannot unset; "" is documented as equivalent to unset. *)
+    Unix.putenv "RLIBM_JOBS" (Option.value saved ~default:"")
+  in
+  Fun.protect ~finally:restore (fun () ->
+      let cores = Domain.recommended_domain_count () in
+      Unix.putenv "RLIBM_JOBS" "3";
+      Alcotest.(check int) "valid value wins" 3 (Parallel.default_jobs ());
+      Unix.putenv "RLIBM_JOBS" " 2 ";
+      Alcotest.(check int) "whitespace trimmed" 2 (Parallel.default_jobs ());
+      Unix.putenv "RLIBM_JOBS" "";
+      Alcotest.(check int) "empty = unset" cores (Parallel.default_jobs ());
+      (* Malformed values must fall back to the core count (with a
+         warning on stderr), never crash and never yield 0 jobs. *)
+      List.iter
+        (fun bad ->
+          Unix.putenv "RLIBM_JOBS" bad;
+          Alcotest.(check int)
+            (Printf.sprintf "%S falls back" bad)
+            cores (Parallel.default_jobs ()))
+        [ "banana"; "0"; "-4"; "3.5"; "  " ])
+
 (* ---------- end-to-end determinism: -j 1 vs -j 4 ---------- *)
 
 let tiny_cfg =
@@ -177,6 +203,7 @@ let suite =
     ("exception propagation", `Quick, test_exception_propagation);
     ("pool reuse and resize", `Quick, test_pool_reuse);
     ("-j 1 sequential path", `Quick, test_sequential_path);
+    ("RLIBM_JOBS parsing and fallback", `Quick, test_jobs_env_fallback);
     ("determinism log2/estrin -j1 vs -j4", `Slow, check_determinism Oracle.Log2 Polyeval.Estrin);
     ("determinism exp2/estrin-fma -j1 vs -j4", `Slow, check_determinism Oracle.Exp2 Polyeval.EstrinFma);
   ]

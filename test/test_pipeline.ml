@@ -193,11 +193,14 @@ let test_resume_bit_identical () =
               Parallel.set_jobs jobs;
               (* "Interrupted" run: only stages 1-2 completed. *)
               Rlibm.Constraints.clear_memory_cache ();
-              let counts =
+              let report =
                 Pipeline.warm ~through:Pipeline.Intervals
                   [ (Oracle.Exp2, tiny_cfg) ]
               in
-              Alcotest.(check int) "one pair warmed" 1 (List.length counts);
+              Alcotest.(check int) "one pair warmed" 1
+                (List.length report.Pipeline.wm_entries);
+              Alcotest.(check int) "nothing skipped" 0
+                (List.length report.Pipeline.wm_failed);
               (* Resume: stages 1-2 load, stages 3-5 rebuild. *)
               let st, fp, rep = run_pass () in
               Alcotest.check status_t
@@ -217,11 +220,268 @@ let test_resume_bit_identical () =
                 ((fp, rep) = reference)))
         [ 1; 4 ])
 
+(* ---------- oracle shards ---------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let shard_stats () =
+  List.assoc_opt "oracle-shard" (Cache.stats_by_kind ())
+
+(* The shard grid is a fixed partition of the input universe: contiguous,
+   complete, in order — and a pure function of (n, shards), so the job
+   count cannot move a shard boundary.  Keys are distinct per index and
+   never collide with the whole-table key. *)
+let test_shard_grid () =
+  List.iter
+    (fun (n, shards) ->
+      let ranges = List.init shards (Pipeline.shard_range ~n ~shards) in
+      let lo0, _ = List.hd ranges in
+      Alcotest.(check int) "starts at 0" 0 lo0;
+      let rec chained = function
+        | [] | [ _ ] -> true
+        | (_, hi) :: ((lo, _) :: _ as rest) -> hi = lo && chained rest
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "contiguous n=%d s=%d" n shards)
+        true (chained ranges);
+      let _, hil = List.nth ranges (shards - 1) in
+      Alcotest.(check int) "ends at n" n hil)
+    [ (7936, 1); (7936, 4); (7936, 7); (10, 16); (0, 3) ];
+  let saved = Parallel.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.set_jobs saved)
+    (fun () ->
+      let grid () = List.init 4 (Pipeline.shard_range ~n:7936 ~shards:4) in
+      Parallel.set_jobs 1;
+      let g1 = grid () in
+      Parallel.set_jobs 4;
+      Alcotest.(check bool) "grid independent of -j" true (g1 = grid ()));
+  let key i =
+    Pipeline.oracle_shard_key ~cfg:tiny_cfg ~shards:4 ~index:i Oracle.Exp2
+  in
+  let keys = List.init 4 key in
+  Alcotest.(check int) "four distinct shard keys" 4
+    (List.length (List.sort_uniq compare keys));
+  Alcotest.(check bool) "distinct from the whole-table key" false
+    (List.mem (Pipeline.oracle_key ~cfg:tiny_cfg Oracle.Exp2) keys);
+  Alcotest.(check bool) "shard count is part of the key" true
+    (key 0 <> Pipeline.oracle_shard_key ~cfg:tiny_cfg ~shards:8 ~index:0
+                 Oracle.Exp2)
+
+(* A sharded cold run must be indistinguishable from an unsharded one
+   downstream: the republished whole-table artifact byte-identical, and
+   every later stage hitting the very same keys with the same content —
+   at -j 1 and -j 4. *)
+let test_sharded_bit_identical () =
+  let saved_jobs = Parallel.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.set_jobs saved_jobs)
+    (fun () ->
+      let okey = Pipeline.oracle_key ~cfg:tiny_cfg Oracle.Exp2 in
+      let reference =
+        in_fresh_dir (fun _d ->
+            Parallel.set_jobs 1;
+            Rlibm.Constraints.clear_memory_cache ();
+            let _, fp, rep = run_pass () in
+            (read_file (Cache.path_of_key okey), fp, rep))
+      in
+      List.iter
+        (fun jobs ->
+          in_fresh_dir (fun _d ->
+              Parallel.set_jobs jobs;
+              Rlibm.Constraints.clear_memory_cache ();
+              let _ =
+                Pipeline.oracle_stage ~shards:5 ~cfg:tiny_cfg Oracle.Exp2
+              in
+              let ref_bytes, ref_fp, ref_rep = reference in
+              Alcotest.(check bool)
+                (Printf.sprintf "whole-table artifact bytes at -j %d" jobs)
+                true
+                (read_file (Cache.path_of_key okey) = ref_bytes);
+              (* Downstream stages consume the republished table: the
+                 oracle stage must hit, and output stays bit-identical. *)
+              let st, fp, rep = run_pass () in
+              Alcotest.(check bool)
+                (Printf.sprintf "oracle hits after sharded warm -j %d" jobs)
+                true
+                (List.assoc Pipeline.Oracle st = Pipeline.Hit);
+              Alcotest.(check bool)
+                (Printf.sprintf "downstream bit-identical -j %d" jobs)
+                true
+                (fp = ref_fp && rep = ref_rep)))
+        [ 1; 4 ])
+
+(* Cooperative fill: shards published by a killed (or distributed)
+   warmer are loaded, never recomputed.  Two single-shard invocations
+   stand in for the interrupted run; the resuming full run must load
+   exactly those two shards and compute exactly the other two. *)
+let test_shard_resume () =
+  in_fresh_dir (fun _d ->
+      List.iter
+        (fun k ->
+          Rlibm.Constraints.clear_memory_cache ();
+          ignore
+            (Pipeline.oracle_stage ~shards:4 ~only_shard:k ~cfg:tiny_cfg
+               Oracle.Exp2
+              : (int64, int64) Hashtbl.t))
+        [ 0; 1 ];
+      (* Resume. *)
+      Rlibm.Constraints.clear_memory_cache ();
+      Cache.reset_stats ();
+      let t =
+        Pipeline.oracle_stage ~shards:4 ~cfg:tiny_cfg Oracle.Exp2
+      in
+      (match shard_stats () with
+      | None -> Alcotest.fail "no oracle-shard store traffic on resume"
+      | Some s ->
+          Alcotest.(check int) "published shards loaded, not recomputed" 2
+            s.Cache.hits;
+          Alcotest.(check int) "missing shards computed once" 2
+            s.Cache.misses);
+      (* The assembled table equals an unsharded run's. *)
+      let unsharded =
+        in_fresh_dir (fun _d ->
+            Rlibm.Constraints.clear_memory_cache ();
+            Pipeline.oracle_stage ~cfg:tiny_cfg Oracle.Exp2)
+      in
+      let sorted tbl =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+      in
+      Alcotest.(check bool) "merged table = unsharded table" true
+        (sorted t = sorted unsharded);
+      (* Fully warm: the republished whole table satisfies every shard
+         with zero store traffic and zero Ziv loops. *)
+      Rlibm.Constraints.clear_memory_cache ();
+      Cache.reset_stats ();
+      ignore
+        (Pipeline.oracle_stage ~shards:4 ~cfg:tiny_cfg Oracle.Exp2
+          : (int64, int64) Hashtbl.t);
+      (match shard_stats () with
+      | None -> ()
+      | Some s ->
+          Alcotest.(check int) "warm run loads no shard" 0 s.Cache.hits;
+          Alcotest.(check int) "warm run computes no shard" 0 s.Cache.misses);
+      (* Bad shard parameters are rejected. *)
+      Alcotest.(check bool) "shards < 1 rejected" true
+        (try
+           ignore
+             (Pipeline.oracle_stage ~shards:0 ~cfg:tiny_cfg Oracle.Exp2
+               : (int64, int64) Hashtbl.t);
+           false
+         with Invalid_argument _ -> true);
+      Alcotest.(check bool) "only_shard out of range rejected" true
+        (try
+           ignore
+             (Pipeline.oracle_stage ~shards:4 ~only_shard:4 ~cfg:tiny_cfg
+                Oracle.Exp2
+               : (int64, int64) Hashtbl.t);
+           false
+         with Invalid_argument _ -> true))
+
+(* Two warmer *processes* racing on one store directory: the O_EXCL-temp
+   publish protocol makes the race benign (identical content, atomic
+   rename), and the store must end up byte-identical to a lone
+   unsharded run's.  [Unix.fork] (and everything built on it, like
+   [create_process]) is forbidden once any domain has ever been spawned
+   in this process, so the racers are launched through [Sys.command]
+   (C-level system(3)) against the built CLI — which also exercises the
+   --shards flag end to end. *)
+let rlibm_gen_exe =
+  (* Tests run with cwd = _build/default/test; the binary is a declared
+     dependency in test/dune. *)
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bin" "rlibm_gen.exe")
+
+let test_shard_concurrent () =
+  if not (Sys.file_exists rlibm_gen_exe) then
+    Alcotest.failf "rlibm_gen binary not found at %s" rlibm_gen_exe;
+  let saved_jobs = Parallel.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.set_jobs saved_jobs)
+    (fun () ->
+      Parallel.set_jobs 1;
+      let okey = Pipeline.oracle_key ~cfg:tiny_cfg Oracle.Exp2 in
+      let ref_bytes =
+        in_fresh_dir (fun _d ->
+            Rlibm.Constraints.clear_memory_cache ();
+            let _, _, _ = run_pass () in
+            read_file (Cache.path_of_key okey))
+      in
+      in_fresh_dir (fun dir ->
+          let warmer log =
+            Printf.sprintf
+              "%s warm --func exp2 --through oracle --shards 4 --ebits 4 \
+               --prec 7 --table-bits 3 -j 1 --cache-dir %s > %s 2>&1"
+              (Filename.quote rlibm_gen_exe) (Filename.quote dir)
+              (Filename.quote (Filename.concat dir log))
+          in
+          let cmd =
+            Printf.sprintf "%s & p1=$!; %s & p2=$!; wait $p1 && wait $p2"
+              (warmer "warmer1.log") (warmer "warmer2.log")
+          in
+          let rc = Sys.command cmd in
+          if rc <> 0 then begin
+            List.iter
+              (fun log ->
+                let p = Filename.concat dir log in
+                if Sys.file_exists p then prerr_string (read_file p))
+              [ "warmer1.log"; "warmer2.log" ];
+            Alcotest.failf "concurrent warmers exited with %d" rc
+          end;
+          Alcotest.(check bool)
+            "racing warmers leave the unsharded artifact bytes" true
+            (read_file (Cache.path_of_key okey) = ref_bytes)))
+
+(* warm must report skipped generations, not swallow them: a config
+   whose degree search cannot succeed fails the polynomial stage for
+   every scheme, and each failure lands in wm_failed. *)
+let test_warm_reports_failures () =
+  in_fresh_dir (fun _d ->
+      Rlibm.Constraints.clear_memory_cache ();
+      let doomed =
+        {
+          tiny_cfg with
+          Rlibm.Config.min_degree = 0;
+          max_degree = 0;
+          max_rounds = 1;
+          max_specials = 0;
+        }
+      in
+      let report =
+        Pipeline.warm ~schemes:[ Polyeval.Estrin ] [ (Oracle.Exp2, doomed) ]
+      in
+      Alcotest.(check int) "entry still warmed through the oracle" 1
+        (List.length report.Pipeline.wm_entries);
+      (match report.Pipeline.wm_failed with
+      | [ (Oracle.Exp2, Polyeval.Estrin, msg) ] ->
+          Alcotest.(check bool) "failure message non-empty" true (msg <> "")
+      | l -> Alcotest.failf "expected one failure, got %d" (List.length l));
+      (* A healthy config reports no failures. *)
+      Rlibm.Constraints.clear_memory_cache ();
+      let ok =
+        Pipeline.warm ~schemes:[ Polyeval.Estrin ] [ (Oracle.Exp2, tiny_cfg) ]
+      in
+      Alcotest.(check int) "healthy warm skips nothing" 0
+        (List.length ok.Pipeline.wm_failed))
+
 let suite =
   [
     ("key invalidation graph", `Quick, test_keys);
+    ("shard grid and keys", `Quick, test_shard_grid);
     ("stage invalidation rebuilds exactly downstream", `Slow,
      test_stage_invalidation);
     ("resume is bit-identical at -j 1 and -j 4", `Slow,
      test_resume_bit_identical);
+    ("sharded run bit-identical to unsharded", `Slow,
+     test_sharded_bit_identical);
+    ("interrupted sharded warm resumes without recompute", `Slow,
+     test_shard_resume);
+    ("concurrent warmers fill one store cooperatively", `Slow,
+     test_shard_concurrent);
+    ("warm reports skipped generations", `Slow, test_warm_reports_failures);
   ]

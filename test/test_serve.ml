@@ -115,6 +115,39 @@ let test_unknown_func_rejected () =
         (fun () ->
           ignore (Serve.eval_batch snap Oracle.Log10 [| 0L |] : float array)))
 
+(* Lookups are per-function, so a spec list naming one function twice
+   must be rejected up front — before the fix the second entry was
+   silently shadowed by the first and a caller asking for (exp2, horner)
+   could be served (exp2, estrin-fma). *)
+let test_duplicate_func_rejected () =
+  with_cache_dir (fun _dir ->
+      let dup =
+        [
+          (Oracle.Exp2, Polyeval.EstrinFma, tiny_cfg);
+          (Oracle.Log2, Polyeval.Horner, tiny_cfg);
+          (Oracle.Exp2, Polyeval.Horner, tiny_cfg);
+        ]
+      in
+      Cache.reset_stats ();
+      (match Serve.build dup with
+      | Ok _ -> Alcotest.fail "duplicate spec accepted"
+      | Error msg ->
+          let contains needle hay =
+            let nl = String.length needle and hl = String.length hay in
+            let rec at i =
+              i + nl <= hl && (String.sub hay i nl = needle || at (i + 1))
+            in
+            at 0
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "error names the function (%s)" msg)
+            true
+            (contains "exp2" msg && contains "duplicate" msg));
+      (* The rejection must happen before any resolution: no stage ran,
+         nothing was persisted. *)
+      Alcotest.(check (list string)) "no store traffic" []
+        (List.map fst (Cache.stats_by_kind ())))
+
 let test_key_pins_knobs () =
   let k = Serve.snapshot_key specs in
   Alcotest.(check string) "key is deterministic" k (Serve.snapshot_key specs);
@@ -140,6 +173,7 @@ let test_key_pins_knobs () =
 let suite =
   [
     ("snapshot key pins every knob", `Quick, test_key_pins_knobs);
+    ("duplicate function rejected", `Quick, test_duplicate_func_rejected);
     ("cold build / warm load round-trip", `Slow, test_cold_warm_roundtrip);
     ("batch = scalar at -j 1 and -j 4", `Slow, test_batch_matches_scalar_at_any_j);
     ("unknown function rejected", `Slow, test_unknown_func_rejected);

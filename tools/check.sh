@@ -9,7 +9,9 @@
 # -j 1 and -j N; a warm snapshot loads from exactly one store entry),
 # and smoke-check the batch kernels (scalar-vs-kernel timings reported,
 # serve-throughput JSON artifact matches its schema, every row
-# bit-identical).
+# bit-identical), and smoke-check sharded oracle warming (single-shard
+# warms resume into a full run that loads — never recomputes — the
+# published shards; a re-run hits every shard and the whole table).
 # Usage: tools/check.sh [N]   (N = fan-out width, default 4)
 set -eu
 
@@ -161,5 +163,46 @@ for row in doc["results"]:
     assert row["kernel_ns_per_eval"] > 0.0, row
 EOF
 echo "kernel timings reported, serve-throughput JSON schema OK"
+
+echo "== sharded oracle warm smoke =="
+sharddir=$(mktemp -d)
+shardout=$(mktemp) && shardstats=$(mktemp)
+trap 'rm -f "$tmp1" "$tmpN" "$cold" "$poisoned" "$stats" \
+       "$coldg" "$warmg" "$resumedg" "$stageout" "$warmstats" \
+       "$serve1" "$serveN" "$servestats" "$servebench" "$benchjson" \
+       "$shardout" "$shardstats"
+     rm -rf "$cachedir" "$stagedir" "$resumedir" "$servedir" "$sharddir"' EXIT
+# Half-run: warm two of the four oracle shards, one invocation each (the
+# distributed / killed-warmer shape).
+RLIBM_CACHE_DIR="$sharddir" dune exec --no-build bin/rlibm_gen.exe -- warm \
+  --func exp2 --through oracle --shard 0/4 --ebits 4 --prec 7 > /dev/null
+RLIBM_CACHE_DIR="$sharddir" dune exec --no-build bin/rlibm_gen.exe -- warm \
+  --func exp2 --through oracle --shard 1/4 --ebits 4 --prec 7 > /dev/null
+# Resume: the full sharded warm must load shards 0-1 from the store and
+# compute only shards 2-3.
+RLIBM_CACHE_DIR="$sharddir" dune exec --no-build bin/rlibm_gen.exe -- warm \
+  --func exp2 --through oracle --shards 4 --ebits 4 --prec 7 \
+  --cache-stats > "$shardout" 2> "$shardstats"
+for want in 'oracle shard 0/4 hit' 'oracle shard 1/4 hit' \
+            'oracle shard 2/4 rebuilt' 'oracle shard 3/4 rebuilt'; do
+  grep -q "$want" "$shardout" \
+    || { echo "resume expected '$want':"; cat "$shardout"; exit 1; }
+done
+grep -Eq '^ *oracle-shard +2 hits, 2 misses' "$shardstats" \
+  || { echo "expected 2 shard loads + 2 computes:"; cat "$shardstats"; exit 1; }
+# Fully warm re-run: the republished whole table covers every shard.
+RLIBM_CACHE_DIR="$sharddir" dune exec --no-build bin/rlibm_gen.exe -- warm \
+  --func exp2 --through oracle --shards 4 --ebits 4 --prec 7 > "$shardout"
+[ "$(grep -c 'oracle shard [0-3]/4 hit' "$shardout")" -eq 4 ] \
+  || { echo "warm re-run expected 4 shard hits:"; cat "$shardout"; exit 1; }
+if grep -q 'rebuilt' "$shardout"; then
+  echo "warm re-run recomputed a shard:"; cat "$shardout"; exit 1
+fi
+# And the merged whole-table artifact satisfies the unsharded pipeline.
+RLIBM_CACHE_DIR="$sharddir" dune exec --no-build bin/rlibm_gen.exe -- stages \
+  --func exp2 --scheme estrin-fma --ebits 4 --prec 7 > "$shardout"
+grep -Eq 'oracle  *hit' "$shardout" \
+  || { echo "oracle stage missed after sharded warm:"; cat "$shardout"; exit 1; }
+echo "sharded warm: resume loads published shards, re-run all-hit, oracle stage warm"
 
 echo "== OK =="
