@@ -69,7 +69,7 @@ open Toolkit
 type entry = {
   func : Oracle.func;
   scheme : Polyeval.scheme;
-  gen : (Rlibm.Generate.generated, string) result;
+  gen : (Rlibm.Generate.generated, Diag.Error.t) result;
 }
 
 let generate_grid funcs =
@@ -95,9 +95,10 @@ let print_table1 grid =
   List.iter
     (fun e ->
       match e.gen with
-      | Error msg ->
+      | Error err ->
           Printf.printf "%-7s %-11s  FAILED: %s\n" (Oracle.name e.func)
-            (Polyeval.scheme_name e.scheme) msg
+            (Polyeval.scheme_name e.scheme)
+            (Diag.Error.to_string err)
       | Ok g ->
           let row = Genlibm.table1_row g in
           Printf.printf "%-7s %-11s %7d %-10s %9d\n" (Oracle.name e.func)
@@ -273,7 +274,7 @@ let write_json path ~jobs timings =
             (if i = n - 1 then "" else ","))
         timings;
       Printf.fprintf oc "  ]\n");
-  Printf.printf "wrote %s (%d timing rows)\n%!" path n
+  Printf.eprintf "wrote %s (%d timing rows)\n%!" path n
 
 (* ---------- static cost model (the mechanism behind Figure 6) ---------- *)
 
@@ -382,9 +383,10 @@ let print_correctness grid =
   List.iter
     (fun e ->
       match e.gen with
-      | Error msg ->
+      | Error err ->
           Printf.printf "%-7s %-11s FAILED: %s\n" (Oracle.name e.func)
-            (Polyeval.scheme_name e.scheme) msg
+            (Polyeval.scheme_name e.scheme)
+            (Diag.Error.to_string err)
       | Ok g ->
           (* The verdict stage: persisted like every other artifact, so a
              re-run of the harness loads it instead of re-verifying. *)
@@ -454,7 +456,7 @@ let measure_generation funcs =
           in
           let cold_s, cold_rebuilt, cold = timed () in
           let warm_s, warm_rebuilt, warm = timed () in
-          Printf.printf
+          Printf.eprintf
             "%-7s cold %6.2fs (%d stages rebuilt)  warm %6.3fs (%d rebuilt)\n%!"
             (Oracle.name func) cold_s cold_rebuilt warm_s warm_rebuilt;
           {
@@ -487,7 +489,7 @@ let write_gen_json path ~jobs rows =
             (if i = n - 1 then "" else ","))
         rows;
       Printf.fprintf oc "  ]\n");
-  Printf.printf "wrote %s (%d generation timing rows)\n%!" path n
+  Printf.eprintf "wrote %s (%d generation timing rows)\n%!" path n
 
 (* ---------- oracle sharding: cold vs sharded vs resumed ---------- *)
 
@@ -541,13 +543,14 @@ let measure_sharding funcs ~shards =
         (fun func ->
           let cfg = Rlibm.Config.mini_for func in
           fresh_dir ();
+          let ok = function Ok v -> v | Error e -> Cli.exit_error e in
           let cold_un_s, unsharded =
-            timed (fun () -> Pipeline.oracle_stage ~cfg func)
+            timed (fun () -> ok (Pipeline.oracle_stage ~cfg func))
           in
           let reference = sorted_entries unsharded in
           fresh_dir ();
           let cold_sh_s, sharded =
-            timed (fun () -> Pipeline.oracle_stage ~shards ~cfg func)
+            timed (fun () -> ok (Pipeline.oracle_stage ~shards ~cfg func))
           in
           let identical = sorted_entries sharded = reference in
           (* A killed warmer's store: the first half of the shards
@@ -557,12 +560,12 @@ let measure_sharding funcs ~shards =
             (fun k ->
               Rlibm.Constraints.clear_memory_cache ();
               ignore
-                (Pipeline.oracle_stage ~shards ~only_shard:k ~cfg func
+                (ok (Pipeline.oracle_stage ~shards ~only_shard:k ~cfg func)
                   : (int64, int64) Hashtbl.t))
             (List.init (shards / 2) Fun.id);
           Cache.reset_stats ();
           let resume_s, _ =
-            timed (fun () -> Pipeline.oracle_stage ~shards ~cfg func)
+            timed (fun () -> ok (Pipeline.oracle_stage ~shards ~cfg func))
           in
           let hits, misses =
             match List.assoc_opt "oracle-shard" (Cache.stats_by_kind ()) with
@@ -580,7 +583,7 @@ let measure_sharding funcs ~shards =
               s_identical = identical;
             }
           in
-          Printf.printf
+          Printf.eprintf
             "%-7s unsharded %6.2fs  sharded %6.2fs  resume %6.2fs (%d \
              loaded, %d computed)  identical %s\n%!"
             (Oracle.name func) cold_un_s cold_sh_s resume_s hits misses
@@ -633,7 +636,7 @@ let write_shard_json path ~jobs ~shards rows =
             (if i = n - 1 then "" else ","))
         rows;
       Printf.fprintf oc "  ]\n");
-  Printf.printf "wrote %s (%d sharding timing rows)\n%!" path n
+  Printf.eprintf "wrote %s (%d sharding timing rows)\n%!" path n
 
 (* ---------- serve-path throughput: scalar vs batch kernel ---------- *)
 
@@ -685,9 +688,10 @@ let measure_serve funcs schemes ~batch_pow ~jobs =
         List.map (fun f -> (f, scheme, Rlibm.Config.mini_for f)) funcs
       in
       match Serve.build specs with
-      | Error msg ->
-          Printf.printf "serve bench: snapshot build failed (%s): %s\n%!"
-            (Polyeval.scheme_name scheme) msg;
+      | Error err ->
+          Printf.eprintf "serve bench: snapshot build failed (%s): %s\n%!"
+            (Polyeval.scheme_name scheme)
+            (Diag.Error.to_string err);
           []
       | Ok snap ->
           List.map
@@ -785,7 +789,7 @@ let write_serve_json path ~jobs ~batch_pow rows =
             (if i = n - 1 then "" else ","))
         rows;
       Printf.fprintf oc "  ]\n");
-  Printf.printf "wrote %s (%d serve timing rows)\n%!" path n
+  Printf.eprintf "wrote %s (%d serve timing rows)\n%!" path n
 
 (* ---------- driver ---------- *)
 
@@ -794,6 +798,7 @@ let () =
   let has f = List.mem f args in
   let jobs = Cli.parse_jobs args in
   Parallel.set_jobs jobs;
+  Cli.install_diag_argv ~jobs args;
   Cli.set_cache_dir (Cli.opt_value [ "--cache-dir" ] args);
   let json_path = Cli.opt_value [ "--json" ] args in
   let gen_json_path = Cli.opt_value [ "--gen-json" ] args in
@@ -829,7 +834,7 @@ let () =
      || has "--correctness" || has "--cost" || serve_bench || shard_bench
      || shard_json_path <> None || gen_json_path <> None)
   in
-  Printf.printf
+  Printf.eprintf
     "rlibm-fastpoly benchmark harness (%d functions x %d schemes, %d-bit \
      inputs, -j %d)\n\n%!"
     (List.length funcs)
@@ -871,7 +876,7 @@ let () =
   end;
   (match gen_json_path with
   | Some path ->
-      print_endline
+      prerr_endline
         "== staged generation: cold vs warm store (fresh directory) ==";
       write_gen_json path ~jobs (measure_generation funcs)
   | None -> ());

@@ -50,9 +50,10 @@ let table_bits_arg =
 
 let generate_cmd =
   let run func scheme ebits prec pieces table_bits verify verbose jobs
-      cache_dir cache_stats =
+      cache_dir cache_stats log_level trace =
     let func = require_func func in
     Cli.set_jobs jobs;
+    Cli.install_diag ~jobs:(Parallel.jobs ()) ~level:log_level ~trace ();
     Cli.set_cache_dir cache_dir;
     (* at_exit so the counters are reported even on the exit-1 paths. *)
     if cache_stats then at_exit (fun () -> Cli.report_cache_stats true);
@@ -80,21 +81,24 @@ let generate_cmd =
     in
     if verify then begin
       match Pipeline.verified ~log ~cfg ~scheme func with
-      | Error msg ->
-          Printf.eprintf "generation failed: %s\n" msg;
-          exit 1
+      | Error err -> Cli.exit_error err
       | Ok (g, rep) ->
           print_generated g;
           Printf.printf "verify: %s\n"
             (Format.asprintf "%a" Genlibm.pp_verify_report rep);
           if rep.Genlibm.wrong34 > 0 || rep.Genlibm.wrong_narrow > 0 then
-            exit 1
+            Cli.exit_error
+              (Diag.Error.Verification_failed
+                 {
+                   func = Oracle.name func;
+                   scheme = Polyeval.scheme_name scheme;
+                   wrong34 = rep.Genlibm.wrong34;
+                   wrong_narrow = rep.Genlibm.wrong_narrow;
+                 })
     end
     else begin
       match Pipeline.generate ~log ~cfg ~scheme func with
-      | Error msg ->
-          Printf.eprintf "generation failed: %s\n" msg;
-          exit 1
+      | Error err -> Cli.exit_error err
       | Ok g -> print_generated g
     end
   in
@@ -116,15 +120,17 @@ let generate_cmd =
     Term.(
       const run $ Cli.func_arg $ Cli.scheme_arg $ Cli.ebits_arg $ Cli.prec_arg
       $ pieces_arg $ table_bits_arg $ verify $ verbose $ Cli.jobs_arg
-      $ Cli.cache_dir_arg $ Cli.cache_stats_arg)
+      $ Cli.cache_dir_arg $ Cli.cache_stats_arg $ Cli.log_level_arg
+      $ Cli.trace_arg)
 
 (* ---------- stages ---------- *)
 
 let stages_cmd =
   let run func scheme ebits prec pieces table_bits verbose jobs cache_dir
-      cache_stats =
+      cache_stats log_level trace =
     let func = require_func func in
     Cli.set_jobs jobs;
+    Cli.install_diag ~jobs:(Parallel.jobs ()) ~level:log_level ~trace ();
     Cli.set_cache_dir cache_dir;
     let cfg = cfg_for func ~ebits ~prec ~pieces ~table_bits in
     let log =
@@ -140,13 +146,19 @@ let stages_cmd =
       events;
     Cli.report_cache_stats cache_stats;
     match result with
-    | Error msg ->
-        Printf.printf "polynomial stage failed: %s\n" msg;
-        exit 1
+    | Error err -> Cli.exit_error err
     | Ok (_, rep) ->
         Printf.printf "verdict: %s\n"
           (Format.asprintf "%a" Genlibm.pp_verify_report rep);
-        if rep.Genlibm.wrong34 > 0 || rep.Genlibm.wrong_narrow > 0 then exit 1
+        if rep.Genlibm.wrong34 > 0 || rep.Genlibm.wrong_narrow > 0 then
+          Cli.exit_error
+            (Diag.Error.Verification_failed
+               {
+                 func = Oracle.name func;
+                 scheme = Polyeval.scheme_name scheme;
+                 wrong34 = rep.Genlibm.wrong34;
+                 wrong_narrow = rep.Genlibm.wrong_narrow;
+               })
   in
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log stage execution.")
@@ -160,14 +172,16 @@ let stages_cmd =
     Term.(
       const run $ Cli.func_arg $ Cli.scheme_arg $ Cli.ebits_arg $ Cli.prec_arg
       $ pieces_arg $ table_bits_arg $ verbose $ Cli.jobs_arg
-      $ Cli.cache_dir_arg $ Cli.cache_stats_arg)
+      $ Cli.cache_dir_arg $ Cli.cache_stats_arg $ Cli.log_level_arg
+      $ Cli.trace_arg)
 
 (* ---------- warm ---------- *)
 
 let warm_cmd =
   let run func scheme_opt through ebits prec pieces table_bits shards shard
-      jobs cache_dir cache_stats =
+      jobs cache_dir cache_stats log_level trace =
     Cli.set_jobs jobs;
+    Cli.install_diag ~jobs:(Parallel.jobs ()) ~level:log_level ~trace ();
     Cli.set_cache_dir cache_dir;
     let through =
       match Pipeline.stage_of_name through with
@@ -195,7 +209,10 @@ let warm_cmd =
       List.map (fun f -> (f, cfg_for f ~ebits ~prec ~pieces ~table_bits)) funcs
     in
     let tin = Softfp.make_fmt ~ebits ~prec in
-    Printf.printf
+    (* Everything warm prints is progress narration, not a product:
+       it all goes to stderr so stdout stays machine-parseable (and
+       empty) in scripted warm jobs. *)
+    Printf.eprintf
       "warming pipeline stages through %s for %d functions over %d-bit \
        inputs (%d finite values each, -j %d%s)\n%!"
       (Pipeline.stage_name through)
@@ -206,32 +223,42 @@ let warm_cmd =
       | s, None -> Printf.sprintf ", %d oracle shards" s
       | s, Some k -> Printf.sprintf ", oracle shard %d/%d only" k s);
     let report =
-      Pipeline.warm
-        ~log:(fun s -> Printf.printf "  %s\n%!" s)
-        ~schemes ~through ~shards ?only_shard pairs
+      match
+        Pipeline.warm
+          ~log:(fun s -> Printf.eprintf "  %s\n%!" s)
+          ~schemes ~through ~shards ?only_shard pairs
+      with
+      | Ok report -> report
+      | Error err -> Cli.exit_error err
     in
     List.iter
-      (fun (f, n) -> Printf.printf "  %s: %d oracle entries\n%!" (Oracle.name f) n)
+      (fun (f, n) ->
+        Printf.eprintf "  %s: %d oracle entries\n%!" (Oracle.name f) n)
       report.Pipeline.wm_entries;
     (* A CI warm job must not exit 0 with a half-filled store: every
        skipped generation is listed and turns the run into a failure. *)
     (match report.Pipeline.wm_failed with
     | [] ->
-        Printf.printf "warmed %d functions under %s\n"
+        Printf.eprintf "warmed %d functions under %s\n"
           (List.length report.Pipeline.wm_entries)
           (Cache.dir ())
     | failed ->
-        Printf.printf
+        Printf.eprintf
           "warmed %d functions under %s; %d generations failed (skipped):\n"
           (List.length report.Pipeline.wm_entries)
           (Cache.dir ()) (List.length failed);
         List.iter
-          (fun (f, scheme, msg) ->
-            Printf.printf "  %s/%s: %s\n" (Oracle.name f)
-              (Polyeval.scheme_name scheme) msg)
+          (fun (f, scheme, err) ->
+            Printf.eprintf "  %s/%s: %s\n" (Oracle.name f)
+              (Polyeval.scheme_name scheme)
+              (Diag.Error.to_string err))
           failed);
     Cli.report_cache_stats cache_stats;
-    if report.Pipeline.wm_failed <> [] then exit 1
+    (* Exit through the first failure's typed code so drivers can
+       dispatch on it. *)
+    match report.Pipeline.wm_failed with
+    | (_, _, err) :: _ -> Cli.exit_error err
+    | [] -> ()
   in
   let scheme_opt =
     Arg.(
@@ -264,14 +291,15 @@ let warm_cmd =
       const run $ Cli.func_arg $ scheme_opt $ through $ Cli.ebits_arg
       $ Cli.prec_arg $ pieces_arg $ table_bits_arg $ Cli.shards_arg
       $ Cli.shard_arg $ Cli.jobs_arg $ Cli.cache_dir_arg
-      $ Cli.cache_stats_arg)
+      $ Cli.cache_stats_arg $ Cli.log_level_arg $ Cli.trace_arg)
 
 (* ---------- serve ---------- *)
 
 let serve_cmd =
   let run funcs scheme ebits prec pieces table_bits count seed check_scalar
-      print_bits bench verbose jobs cache_dir cache_stats =
+      print_bits bench verbose jobs cache_dir cache_stats log_level trace =
     Cli.set_jobs jobs;
+    Cli.install_diag ~jobs:(Parallel.jobs ()) ~level:log_level ~trace ();
     Cli.set_cache_dir cache_dir;
     if cache_stats then at_exit (fun () -> Cli.report_cache_stats true);
     let log =
@@ -288,9 +316,7 @@ let serve_cmd =
     Printf.eprintf "building snapshot of %d functions (-j %d)\n%!"
       (List.length specs) (Parallel.jobs ());
     match Serve.build ~log specs with
-    | Error msg ->
-        Printf.eprintf "snapshot build failed: %s\n" msg;
-        exit 1
+    | Error err -> Cli.exit_error err
     | Ok snap ->
         Printf.printf "snapshot %s (%d functions)\n" (Serve.key snap)
           (List.length (Serve.entries snap));
@@ -434,7 +460,8 @@ let serve_cmd =
       const run $ Cli.func_list_arg $ Cli.scheme_arg $ Cli.ebits_arg
       $ Cli.prec_arg $ pieces_arg $ table_bits_arg $ count $ seed
       $ check_scalar $ print_bits $ bench $ verbose $ Cli.jobs_arg
-      $ Cli.cache_dir_arg $ Cli.cache_stats_arg)
+      $ Cli.cache_dir_arg $ Cli.cache_stats_arg $ Cli.log_level_arg
+      $ Cli.trace_arg)
 
 (* ---------- oracle ---------- *)
 

@@ -16,7 +16,7 @@ let () =
   Printf.printf "generating %s / %s ...\n%!" (Oracle.name func)
     (Polyeval.scheme_name scheme);
   match Genlibm.generate ~cfg ~scheme func with
-  | Error msg -> failwith msg
+  | Error msg -> failwith (Diag.Error.to_string msg)
   | Ok g ->
       let base =
         Printf.sprintf "%s_%s" (Oracle.name func)

@@ -29,7 +29,7 @@ let () =
   in
   match gen with
   | Error msg ->
-      Printf.printf "generation failed: %s\n" msg;
+      Printf.printf "generation failed: %s\n" (Diag.Error.to_string msg);
       exit 1
   | Ok g ->
       Printf.printf "Generated in %.1fs: %s\n%!"

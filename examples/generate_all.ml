@@ -21,7 +21,8 @@ let () =
           | Error msg ->
               all_ok := false;
               Printf.printf "%-7s %-11s  FAILED: %s\n%!" (Oracle.name func)
-                (Polyeval.scheme_name scheme) msg
+                (Polyeval.scheme_name scheme)
+                (Diag.Error.to_string msg)
           | Ok g ->
               let row = Genlibm.table1_row g in
               let rep = Genlibm.verify g ~inputs in

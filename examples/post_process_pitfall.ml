@@ -63,7 +63,9 @@ let () =
       let cfg = Rlibm.Config.mini_for func in
       let inputs = Genlibm.inputs_exhaustive cfg.Rlibm.Config.tin in
       match Genlibm.generate ~cfg ~scheme:Polyeval.Horner func with
-      | Error msg -> Printf.printf "%-7s generation failed: %s\n" (Oracle.name func) msg
+      | Error msg ->
+          Printf.printf "%-7s generation failed: %s\n" (Oracle.name func)
+            (Diag.Error.to_string msg)
       | Ok horner_g ->
           List.iter
             (fun scheme ->

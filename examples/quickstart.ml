@@ -21,7 +21,7 @@ let () =
   let g =
     match Genlibm.generate ~cfg ~scheme:Polyeval.EstrinFma func with
     | Ok g -> g
-    | Error msg -> failwith msg
+    | Error msg -> failwith (Diag.Error.to_string msg)
   in
   Printf.printf "Generated: %s\n"
     (Format.asprintf "%a" Genlibm.pp_table1_row (Genlibm.table1_row g));

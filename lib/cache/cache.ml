@@ -262,60 +262,113 @@ let quarantine path =
 
 (* ---------- store / load ---------- *)
 
+let reject_reason = function
+  | Truncated -> "truncated or wrong length"
+  | Bad_magic -> "bad magic"
+  | Bad_version -> "container format version mismatch"
+  | Bad_key -> "stored under a different key"
+  | Bad_checksum -> "payload checksum mismatch"
+  | Bad_payload -> "payload failed to deserialize"
+
 let store ~kind ~key v =
-  if enabled () then
-    try
+  if not (enabled ()) then Ok ()
+  else begin
+    let path = path_of_key key in
+    match
       mkdir_p (dir ());
-      let path = path_of_key key in
-      let data = encode ~key (Marshal.to_string v []) in
-      (* Unique O_EXCL temp per attempt: concurrent writers (or a stale
-         temp from a crashed run that recycled our PID) can never open the
-         same file, and the final rename publishes atomically. *)
-      let rec attempt tries =
-        let tmp = Printf.sprintf "%s.tmp-%s" path (unique_suffix ()) in
-        match
-          open_out_gen [ Open_wronly; Open_creat; Open_excl; Open_binary ]
-            0o644 tmp
-        with
-        | oc -> (
-            match
-              output_string oc data;
-              close_out oc
-            with
-            | () ->
-                Sys.rename tmp path;
-                ignore (Atomic.fetch_and_add c_bytes_written (String.length data));
-                with_kind kind (fun c ->
-                    c.k_bytes_written <- c.k_bytes_written + String.length data)
-            | exception e ->
-                close_out_noerr oc;
-                (try Sys.remove tmp with Sys_error _ -> ());
-                raise e)
-        | exception Sys_error _ when tries > 0 -> attempt (tries - 1)
-      in
-      attempt 3
-    with _ -> () (* persistence is best-effort; the caller can regenerate *)
+      encode ~key (Marshal.to_string v [])
+    with
+    | exception e ->
+        Diag.event ~level:Diag.Warn "cache.store-error" (fun () ->
+            [ ("kind", Diag.String kind); ("key", Diag.String key) ]);
+        Error (Diag.Error.Store_io { path; detail = Printexc.to_string e })
+    | data -> (
+        (* Unique O_EXCL temp per attempt: concurrent writers (or a stale
+           temp from a crashed run that recycled our PID) can never open
+           the same file, and the final rename publishes atomically. *)
+        let rec attempt tries =
+          let tmp = Printf.sprintf "%s.tmp-%s" path (unique_suffix ()) in
+          match
+            open_out_gen [ Open_wronly; Open_creat; Open_excl; Open_binary ]
+              0o644 tmp
+          with
+          | oc -> (
+              match
+                output_string oc data;
+                close_out oc
+              with
+              | () ->
+                  Sys.rename tmp path;
+                  ignore
+                    (Atomic.fetch_and_add c_bytes_written (String.length data));
+                  with_kind kind (fun c ->
+                      c.k_bytes_written <- c.k_bytes_written + String.length data);
+                  Diag.event "cache.publish" (fun () ->
+                      [
+                        ("kind", Diag.String kind);
+                        ("key", Diag.String key);
+                        ("bytes", Diag.Int (String.length data));
+                      ]);
+                  Ok ()
+              | exception e ->
+                  close_out_noerr oc;
+                  (try Sys.remove tmp with Sys_error _ -> ());
+                  raise e)
+          | exception Sys_error _ when tries > 0 -> attempt (tries - 1)
+        in
+        match attempt 3 with
+        | r -> r
+        | exception e ->
+            Diag.event ~level:Diag.Warn "cache.store-error" (fun () ->
+                [ ("kind", Diag.String kind); ("key", Diag.String key) ]);
+            Error (Diag.Error.Store_io { path; detail = Printexc.to_string e }))
+  end
 
 let load ~kind ~key =
-  if not (enabled ()) then None
+  if not (enabled ()) then Ok None
   else
     let path = path_of_key key in
-    match read_file path with
-    | exception Sys_error _ ->
-        ignore (Atomic.fetch_and_add c_misses 1);
-        with_kind kind (fun c -> c.k_misses <- c.k_misses + 1);
-        None
-    | data -> (
-        match decode ~key data with
-        | Ok v ->
-            ignore (Atomic.fetch_and_add c_hits 1);
-            ignore (Atomic.fetch_and_add c_bytes_read (String.length data));
-            with_kind kind (fun c ->
-                c.k_hits <- c.k_hits + 1;
-                c.k_bytes_read <- c.k_bytes_read + String.length data);
-            Some v
-        | Error _reason ->
-            quarantine path;
-            ignore (Atomic.fetch_and_add c_corrupt 1);
-            with_kind kind (fun c -> c.k_corrupt <- c.k_corrupt + 1);
-            None)
+    let miss () =
+      ignore (Atomic.fetch_and_add c_misses 1);
+      with_kind kind (fun c -> c.k_misses <- c.k_misses + 1);
+      Diag.event "cache.miss" (fun () ->
+          [ ("kind", Diag.String kind); ("key", Diag.String key) ]);
+      Ok None
+    in
+    if not (Sys.file_exists path) then miss ()
+    else
+      match read_file path with
+      | exception Sys_error detail ->
+          (* The entry exists but cannot be read: a real I/O failure, not
+             a miss — regenerating would not help the caller persist. *)
+          Error (Diag.Error.Store_io { path; detail })
+      | data -> (
+          match decode ~key data with
+          | Ok v ->
+              ignore (Atomic.fetch_and_add c_hits 1);
+              ignore (Atomic.fetch_and_add c_bytes_read (String.length data));
+              with_kind kind (fun c ->
+                  c.k_hits <- c.k_hits + 1;
+                  c.k_bytes_read <- c.k_bytes_read + String.length data);
+              Diag.event "cache.hit" (fun () ->
+                  [
+                    ("kind", Diag.String kind);
+                    ("key", Diag.String key);
+                    ("bytes", Diag.Int (String.length data));
+                  ]);
+              Ok (Some v)
+          | Error reject ->
+              quarantine path;
+              ignore (Atomic.fetch_and_add c_corrupt 1);
+              with_kind kind (fun c -> c.k_corrupt <- c.k_corrupt + 1);
+              let reason = reject_reason reject in
+              Diag.event ~level:Diag.Warn "cache.corrupt" (fun () ->
+                  [
+                    ("kind", Diag.String kind);
+                    ("key", Diag.String key);
+                    ("reason", Diag.String reason);
+                  ]);
+              Error
+                (match reject with
+                | Bad_key -> Diag.Error.Key_mismatch { kind; key }
+                | _ -> Diag.Error.Corrupt_artifact { kind; key; reason }))

@@ -82,15 +82,23 @@ val path_of_key : string -> string
     participate in the key or the on-disk layout. *)
 
 (** [store ~kind ~key v] marshals [v] and atomically publishes it under
-    [key].  Best-effort: I/O failures (read-only directory, disk full)
-    leave the previous entry, if any, intact and are not fatal. *)
-val store : kind:string -> key:string -> 'a -> unit
+    [key].  [Ok ()] on publish (or when persistence is disabled); an I/O
+    failure (read-only directory, disk full) leaves the previous entry,
+    if any, intact and reports [Error (Store_io _)].  Callers for whom
+    persistence is best-effort ignore the [Error] and regenerate next
+    run; callers that exist to publish (shard drivers) propagate it. *)
+val store : kind:string -> key:string -> 'a -> (unit, Diag.Error.t) result
 
-(** [load ~kind ~key] returns the stored value, or [None] when the entry
-    is absent (a miss) or fails validation (counted as corrupt-rejected
-    and quarantined aside).  The unsafe ['a] is inherent to [Marshal];
-    see the module comment for the key discipline that makes it sound. *)
-val load : kind:string -> key:string -> 'a option
+(** [load ~kind ~key] returns [Ok (Some v)] on a validated hit,
+    [Ok None] when the entry is absent (a miss, also when persistence is
+    disabled), and [Error] when something is wrong with an entry that
+    {e does} exist: [Corrupt_artifact]/[Key_mismatch] for a file that
+    failed header/checksum/decode validation (counted as
+    corrupt-rejected and quarantined aside, so regenerating is safe and
+    the next publish replaces it), [Store_io] for an unreadable file.
+    The unsafe ['a] is inherent to [Marshal]; see the module comment for
+    the key discipline that makes it sound. *)
+val load : kind:string -> key:string -> ('a option, Diag.Error.t) result
 
 (** {1 Observability} *)
 

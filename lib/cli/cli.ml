@@ -2,9 +2,11 @@ open Cmdliner
 
 let func_conv =
   let parse s =
-    match Oracle.of_name s with
-    | Some f -> Ok f
-    | None -> Error (`Msg (Printf.sprintf "unknown function %S" s))
+    (* Funcspec.resolve rather than of_name: an unknown name should
+       carry its typo suggestion into the usage error. *)
+    match Funcspec.resolve s with
+    | Ok f -> Ok f
+    | Error e -> Error (`Msg (Diag.Error.to_string e))
   in
   let print fmt f = Format.pp_print_string fmt (Oracle.name f) in
   Arg.conv (parse, print)
@@ -139,6 +141,51 @@ let cache_stats_arg =
   in
   Arg.(value & flag & info [ "cache-stats" ] ~doc)
 
+(* ---------- diagnostics plumbing ---------- *)
+
+let log_level_conv =
+  let parse s =
+    match Diag.level_of_string s with
+    | Ok l -> Ok l
+    | Error e -> Error (`Msg (Diag.Error.to_string e))
+  in
+  let print fmt l = Format.pp_print_string fmt (Diag.level_to_string l) in
+  Arg.conv (parse, print)
+
+let log_level_arg =
+  let doc =
+    "Verbosity of the human-readable diagnostic stream on stderr: \
+     $(b,quiet), $(b,error), $(b,warn) (default), $(b,info) (stage and \
+     store activity), $(b,debug) (LP statistics, parallel fan-out, batch \
+     evals).  Diagnostics never touch stdout and never influence \
+     artifacts."
+  in
+  Arg.(value & opt log_level_conv Diag.Warn & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let trace_arg =
+  let doc =
+    "Also write every diagnostic event (at debug granularity, regardless \
+     of $(b,--log-level)) to $(docv) as JSON Lines: a schema-versioned \
+     header object, then one object per event with timestamp, level, \
+     span/parent ids and typed fields."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let exit_error err =
+  Printf.eprintf "rlibm: %s\n%!" (Diag.Error.to_string err);
+  exit (Diag.Error.exit_code err)
+
+let install_diag ?(jobs = 1) ~level ~trace () =
+  let stderr_sinks =
+    match level with Diag.Quiet -> [] | l -> [ Diag.stderr_sink ~min_level:l ]
+  in
+  match trace with
+  | None -> Diag.set_sinks stderr_sinks
+  | Some path -> (
+      match Diag.trace_sink ~jobs path with
+      | Ok sink -> Diag.set_sinks (sink :: stderr_sinks)
+      | Error e -> exit_error e)
+
 let set_jobs jobs =
   Parallel.set_jobs
     (match jobs with Some j -> j | None -> Parallel.default_jobs ())
@@ -162,3 +209,16 @@ let parse_jobs args =
           Printf.eprintf "bad -j value %S\n" v;
           exit 2)
   | None -> Parallel.default_jobs ()
+
+let install_diag_argv ~jobs args =
+  let level =
+    match opt_value [ "--log-level" ] args with
+    | None -> Diag.Warn
+    | Some s -> (
+        match Diag.level_of_string s with
+        | Ok l -> l
+        | Error e ->
+            Printf.eprintf "%s\n" (Diag.Error.to_string e);
+            exit 2)
+  in
+  install_diag ~jobs ~level ~trace:(opt_value [ "--trace" ] args) ()

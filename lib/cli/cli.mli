@@ -56,6 +56,33 @@ val cache_dir_arg : string option Cmdliner.Term.t
 val cache_stats_arg : bool Cmdliner.Term.t
 (** [--cache-stats]: report store counters on stderr after the run. *)
 
+(** {1 Diagnostics} *)
+
+val log_level_conv : Diag.level Cmdliner.Arg.conv
+(** Parses [quiet], [error], [warn], [info], [debug]. *)
+
+val log_level_arg : Diag.level Cmdliner.Term.t
+(** [--log-level LEVEL], default {!Diag.Warn}: verbosity of the
+    human-readable diagnostic stream on stderr. *)
+
+val trace_arg : string option Cmdliner.Term.t
+(** [--trace FILE]: also write every diagnostic event as JSON Lines to
+    [FILE] (debug granularity, independent of [--log-level]). *)
+
+val install_diag :
+  ?jobs:int -> level:Diag.level -> trace:string option -> unit -> unit
+(** Install the diag sinks an executable run asked for: a stderr sink at
+    [level] (none for {!Diag.Quiet}) plus, when [trace] is set, a JSONL
+    trace sink ([jobs] lands in the trace header, like the bench
+    envelope).  An unopenable trace file exits via {!exit_error}. *)
+
+val exit_error : Diag.Error.t -> 'a
+(** The uniform executable-boundary rendering: ["rlibm: <message>"] on
+    stderr, then [exit] with {!Diag.Error.exit_code} (bad spec / config /
+    shard range → 2, store I/O → 3, corrupt artifact / key mismatch → 4,
+    stage conflict → 5, LP infeasible / budget exhausted → 6,
+    verification failure → 7). *)
+
 (** {1 Effects} *)
 
 val set_jobs : int option -> unit
@@ -81,3 +108,7 @@ val opt_value : string list -> string list -> string option
 val parse_jobs : string list -> int
 (** The [-j]/[--jobs] value of an argv list, defaulting to
     {!Parallel.default_jobs}; exits with code 2 on a malformed value. *)
+
+val install_diag_argv : jobs:int -> string list -> unit
+(** {!install_diag} driven by bare argv: honours [--log-level] (exit 2
+    on a bad value) and [--trace]. *)

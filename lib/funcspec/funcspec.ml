@@ -344,6 +344,65 @@ let of_name s =
       String.equal spec.name s || List.exists (String.equal s) spec.aliases)
     all
 
+(* Damerau–Levenshtein distance (with adjacent transposition), for the
+   typo suggestion in [resolve]: "lgo2" should point at "log2". *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let d = Array.make_matrix (la + 1) (lb + 1) 0 in
+  for i = 0 to la do
+    d.(i).(0) <- i
+  done;
+  for j = 0 to lb do
+    d.(0).(j) <- j
+  done;
+  for i = 1 to la do
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      let best =
+        Stdlib.min
+          (Stdlib.min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1))
+          (d.(i - 1).(j - 1) + cost)
+      in
+      d.(i).(j) <-
+        (if
+           i > 1 && j > 1
+           && a.[i - 1] = b.[j - 2]
+           && a.[i - 2] = b.[j - 1]
+         then Stdlib.min best (d.(i - 2).(j - 2) + 1)
+         else best)
+    done
+  done;
+  d.(la).(lb)
+
+let resolve s =
+  match of_name s with
+  | Some f -> Ok f
+  | None ->
+      let names =
+        List.concat_map (fun f -> (get f).name :: (get f).aliases) all
+      in
+      let lower = String.lowercase_ascii s in
+      let best =
+        List.fold_left
+          (fun acc n ->
+            let dist = edit_distance lower n in
+            match acc with
+            | Some (_, d0) when d0 <= dist -> acc
+            | _ -> Some (n, dist))
+          None names
+      in
+      (* Offer a suggestion only when it is plausibly a typo: within 2
+         edits, and not more edits than half the name. *)
+      let suggestion =
+        match best with
+        | Some (n, d)
+          when d <= 2 && 2 * d <= Stdlib.max (String.length n) (String.length s)
+          ->
+            Some n
+        | _ -> None
+      in
+      Error (Diag.Error.Bad_spec { name = s; suggestion })
+
 let is_exp_family f =
   match (get f).family with Exp_family _ -> true | Log_family _ -> false
 

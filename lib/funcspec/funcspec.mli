@@ -67,6 +67,12 @@ val get : func -> spec
 val name : func -> string
 val of_name : string -> func option
 
+val resolve : string -> (func, Diag.Error.t) result
+(** [of_name] with a typed failure: an unknown name yields
+    [Bad_spec { name; suggestion }], where [suggestion] is the closest
+    registered name or alias when it is within a plausible typo distance
+    (Damerau–Levenshtein ≤ 2). *)
+
 (** {1 Registry-backed helpers} *)
 
 val is_exp_family : func -> bool

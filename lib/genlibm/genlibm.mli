@@ -31,7 +31,7 @@ val generate :
   cfg:Rlibm.Config.t ->
   scheme:Polyeval.scheme ->
   Oracle.func ->
-  (t, string) result
+  (t, Diag.Error.t) result
 
 (** Sampled-input variant for wide formats; also returns the inputs used,
     for verification. *)
@@ -42,7 +42,7 @@ val generate_sampled :
   count:int ->
   seed:int ->
   Oracle.func ->
-  (t, string) result * int64 array
+  (t, Diag.Error.t) result * int64 array
 
 (** {1 Evaluation} *)
 

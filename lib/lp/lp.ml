@@ -62,7 +62,6 @@ let make_zrow tb c =
   done;
   zrow
 
-let lp_debug = Sys.getenv_opt "RLIBM_LP_DEBUG" <> None
 let pivot_count = ref 0
 
 (* One simplex phase: maximize c.y from the current basic feasible point.
@@ -208,17 +207,23 @@ let maximize ~obj ~rows =
       match run_phase tb (make_zrow tb c2) with
       | `Unbounded -> Unbounded
       | `Optimal ->
-          if lp_debug then begin
-            let maxbits = ref 0 in
-            Array.iter
-              (Array.iter (fun e ->
-                   maxbits :=
-                     Stdlib.max !maxbits
-                       (Bigint.numbits (R.num e) + Bigint.numbits (R.den e))))
-              t;
-            Printf.eprintf "[lp] rows=%d pivots(cum)=%d maxbits=%d\n%!" m
-              !pivot_count !maxbits
-          end;
+          (* Tableau statistics are Debug-level diagnostics; the maxbits
+             scan is quadratic in the tableau, so it only runs when a
+             sink actually listens (the [Diag.event] thunk is not forced
+             otherwise). *)
+          Diag.event ~level:Diag.Debug "lp.solved" (fun () ->
+              let maxbits = ref 0 in
+              Array.iter
+                (Array.iter (fun e ->
+                     maxbits :=
+                       Stdlib.max !maxbits
+                         (Bigint.numbits (R.num e) + Bigint.numbits (R.den e))))
+                t;
+              [
+                ("rows", Diag.Int m);
+                ("pivots_cum", Diag.Int !pivot_count);
+                ("maxbits", Diag.Int !maxbits);
+              ]);
           let y = Array.make width R.zero in
           for i = 0 to m - 1 do
             y.(tb.basis.(i)) <- t.(i).(width)

@@ -12,8 +12,10 @@
 (* ---------- job count ---------- *)
 
 (* A malformed RLIBM_JOBS used to be silently swallowed, while the -j
-   flag exits 2 on the same input — the env path now at least says what
-   it ignored (once; default_jobs is called repeatedly). *)
+   flag exits 2 on the same input — the env path now reports what it
+   ignored through the diag stream (once; default_jobs is called
+   repeatedly).  The default warn-level stderr sink keeps this visible
+   even in unconfigured library embeddings. *)
 let warned_bad_jobs_env = ref false
 
 let default_jobs () =
@@ -27,11 +29,12 @@ let default_jobs () =
           let fallback = Domain.recommended_domain_count () in
           if not !warned_bad_jobs_env then begin
             warned_bad_jobs_env := true;
-            Printf.eprintf
-              "warning: ignoring invalid RLIBM_JOBS=%s (expected a positive \
-               integer); using %d job%s\n%!"
-              s fallback
-              (if fallback = 1 then "" else "s")
+            Diag.event ~level:Diag.Warn "parallel.bad-jobs-env" (fun () ->
+                [
+                  ("ignored", Diag.String s);
+                  ("expected", Diag.String "a positive integer");
+                  ("using", Diag.Int fallback);
+                ])
           end;
           fallback)
 
@@ -171,6 +174,8 @@ let chunk_count j n = Stdlib.min n (j * chunk_factor)
    abandoned mid-write. *)
 let fan_out j n body =
   let c = chunk_count j n in
+  Diag.event ~level:Diag.Debug "parallel.fan-out" (fun () ->
+      [ ("jobs", Diag.Int j); ("items", Diag.Int n); ("chunks", Diag.Int c) ]);
   let failed = Array.make c None in
   let tasks =
     Array.init c (fun k () ->

@@ -48,7 +48,11 @@ let rank = function
    earlier revisions stay valid. *)
 let v_intervals = 1
 let v_constraints = 1
-let v_poly = 1
+
+(* v2: the persisted poly payload is a [(solved, Diag.Error.t) result] —
+   failures are typed data now, not strings — so v1 entries (which held
+   [(solved, string) result]) must be orphaned, not decoded. *)
+let v_poly = 2
 let v_verdict = 1
 
 let base ~(cfg : Rlibm.Config.t) func =
@@ -111,35 +115,59 @@ let events_rev = ref []
 let events () = List.rev !events_rev
 let reset_events () = events_rev := []
 
+let status_name = function Hit -> "hit" | Rebuilt -> "rebuilt"
+
+(* The one emission point for per-stage outcomes: the in-process event
+   list (what [events] / [pp_event] / the bench harness consume), the
+   optional human log line, and the structured diag stream are three
+   renderings of the same record. *)
 let record ?log stage key status seconds =
   let ev = { ev_stage = stage; ev_key = key; ev_status = status; ev_seconds = seconds } in
   events_rev := ev :: !events_rev;
-  match log with
+  (match log with
   | Some f ->
       f
         (Printf.sprintf "stage %-11s %-7s %7.3fs  %s" (stage_name stage)
-           (match status with Hit -> "hit" | Rebuilt -> "rebuilt")
-           seconds key)
-  | None -> ()
+           (status_name status) seconds key)
+  | None -> ())
 
 let pp_event fmt ev =
   Format.fprintf fmt "%-11s  %-7s  %8.3fs  %s" (stage_name ev.ev_stage)
     (match ev.ev_status with Hit -> "hit" | Rebuilt -> "rebuilt")
     ev.ev_seconds ev.ev_key
 
+(* Wrap one stage execution in a diag span: a ["stage.begin"] record
+   before, a ["stage.end"] record carrying seconds + hit/rebuilt after.
+   Body runs bare when no sink listens. *)
+let stage_span stage key body =
+  Diag.span "stage"
+    (fun () ->
+      [
+        ("stage", Diag.String (stage_name stage)); ("key", Diag.String key);
+      ])
+    ~result:(fun (_, status) -> [ ("status", Diag.String (status_name status)) ])
+    body
+  |> fst
+
 (* Load-or-compute-and-publish, with the event bookkeeping. *)
 let staged ?log ~stage ~key compute =
   let kind = stage_name stage in
-  let t0 = Unix.gettimeofday () in
-  match Cache.load ~kind ~key with
-  | Some v ->
-      record ?log stage key Hit (Unix.gettimeofday () -. t0);
-      v
-  | None ->
-      let v = compute () in
-      Cache.store ~kind ~key v;
-      record ?log stage key Rebuilt (Unix.gettimeofday () -. t0);
-      v
+  stage_span stage key (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let v, status =
+        match Cache.load ~kind ~key with
+        | Ok (Some v) -> (v, Hit)
+        | Ok None | Error _ ->
+            (* Absent, or a corrupt entry the store already counted and
+               quarantined: recompute and republish — the self-healing
+               path.  A failed publish is not fatal (the store emitted
+               its own warning); the value still flows downstream. *)
+            let v = compute () in
+            ignore (Cache.store ~kind ~key v);
+            (v, Rebuilt)
+      in
+      record ?log stage key status (Unix.gettimeofday () -. t0);
+      (v, status))
 
 (* ---------- shared per-config plumbing ---------- *)
 
@@ -186,104 +214,143 @@ let range_incomplete ~(cfg : Rlibm.Config.t) ~(family : Rlibm.Reduction.t)
    an unsharded run's.  [only_shard] restricts the invocation to one
    shard (for distributed drivers); the whole table is then left
    unassembled. *)
-let oracle_stage ?log ?(shards = 1) ?only_shard ~(cfg : Rlibm.Config.t) func =
-  if shards < 1 then
-    invalid_arg "Pipeline.oracle_stage: shard count must be positive";
-  (match only_shard with
-  | Some k when k < 0 || k >= shards ->
-      invalid_arg
-        (Printf.sprintf
-           "Pipeline.oracle_stage: shard index %d outside [0, %d)" k shards)
-  | _ -> ());
+(* The validated body: shard arguments are known to be in range here.
+   [run_oracle ~shards:1] is also what the deeper stages call
+   internally, so their compute closures never see a shard error. *)
+let run_oracle ?log ~shards ?only_shard ~(cfg : Rlibm.Config.t) func =
   let tin = cfg.Rlibm.Config.tin and tout = Rlibm.Config.tout cfg in
   let key = oracle_key ~cfg func in
-  let t0 = Unix.gettimeofday () in
-  let oracle = Rlibm.Constraints.oracle_table ~func ~tin ~tout in
-  if shards = 1 && only_shard = None then begin
-    let computed =
-      Rlibm.Constraints.ensure_oracle ~cfg ~family:(family_of ~cfg func)
-        ~inputs:(inputs_of cfg) ~oracle
-    in
-    if computed > 0 then
-      Rlibm.Constraints.persist_oracle_table ~func ~tin ~tout;
-    record ?log Oracle key
-      (if computed = 0 then Hit else Rebuilt)
-      (Unix.gettimeofday () -. t0)
-  end
-  else begin
-    let family = family_of ~cfg func in
-    let inputs = inputs_of cfg in
-    let n = Array.length inputs in
-    let indices =
-      match only_shard with
-      | Some k -> [ k ]
-      | None -> List.init shards Fun.id
-    in
-    let computed = ref 0 and installed = ref 0 in
-    List.iter
-      (fun k ->
-        let lo, hi = shard_range ~n ~shards k in
-        let skey = oracle_shard_key ~cfg ~shards ~index:k func in
-        let st0 = Unix.gettimeofday () in
-        let shard_line status entries =
-          match log with
-          | Some f ->
-              f
-                (Printf.sprintf
-                   "oracle shard %d/%d %-7s %7.3fs  %6d entries  %s" k shards
-                   status
-                   (Unix.gettimeofday () -. st0)
-                   entries skey)
-          | None -> ()
-        in
-        if not (range_incomplete ~cfg ~family ~inputs ~oracle ~lo ~hi) then
-          (* Already covered by the merged table: no store traffic. *)
-          shard_line "hit" 0
-        else
-          match
-            (Cache.load ~kind:"oracle-shard" ~key:skey
-              : (int64 * int64) array option)
-          with
-          | Some pairs ->
-              Array.iter (fun (x, y) -> Hashtbl.replace oracle x y) pairs;
-              installed := !installed + Array.length pairs;
-              shard_line "hit" (Array.length pairs)
-          | None ->
-              let pairs =
-                Rlibm.Constraints.oracle_range ~cfg ~family ~inputs ~lo ~hi
-                  ~known:(fun _ -> false)
+  let span_key =
+    match only_shard with
+    | Some k -> oracle_shard_key ~cfg ~shards ~index:k func
+    | None -> key
+  in
+  stage_span Oracle span_key (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let oracle = Rlibm.Constraints.oracle_table ~func ~tin ~tout in
+      let status =
+        if shards = 1 && only_shard = None then begin
+          let computed =
+            Rlibm.Constraints.ensure_oracle ~cfg ~family:(family_of ~cfg func)
+              ~inputs:(inputs_of cfg) ~oracle
+          in
+          if computed > 0 then
+            Rlibm.Constraints.persist_oracle_table ~func ~tin ~tout;
+          let status = if computed = 0 then Hit else Rebuilt in
+          record ?log Oracle key status (Unix.gettimeofday () -. t0);
+          status
+        end
+        else begin
+          let family = family_of ~cfg func in
+          let inputs = inputs_of cfg in
+          let n = Array.length inputs in
+          let indices =
+            match only_shard with
+            | Some k -> [ k ]
+            | None -> List.init shards Fun.id
+          in
+          let computed = ref 0 and installed = ref 0 in
+          List.iter
+            (fun k ->
+              let lo, hi = shard_range ~n ~shards k in
+              let skey = oracle_shard_key ~cfg ~shards ~index:k func in
+              let st0 = Unix.gettimeofday () in
+              let shard_line status entries =
+                Diag.event "shard.done" (fun () ->
+                    [
+                      ("index", Diag.Int k);
+                      ("count", Diag.Int shards);
+                      ("status", Diag.String status);
+                      ("entries", Diag.Int entries);
+                      ("key", Diag.String skey);
+                    ]);
+                match log with
+                | Some f ->
+                    f
+                      (Printf.sprintf
+                         "oracle shard %d/%d %-7s %7.3fs  %6d entries  %s" k
+                         shards status
+                         (Unix.gettimeofday () -. st0)
+                         entries skey)
+                | None -> ()
               in
-              (* Publish the shard before merging so a kill after this
-                 point never loses the completed Ziv work. *)
-              Cache.store ~kind:"oracle-shard" ~key:skey pairs;
-              Array.iter (fun (x, y) -> Hashtbl.replace oracle x y) pairs;
-              computed := !computed + Array.length pairs;
-              installed := !installed + Array.length pairs;
-              shard_line "rebuilt" (Array.length pairs))
-      indices;
-    (match only_shard with
-    | Some k ->
-        record ?log Oracle
-          (oracle_shard_key ~cfg ~shards ~index:k func)
-          (if !computed = 0 then Hit else Rebuilt)
-          (Unix.gettimeofday () -. t0)
-    | None ->
-        (* Republish the assembled whole-table artifact whenever any
-           shard contributed, so downstream stages and unsharded runs
-           keep loading the single merged entry they always have. *)
-        if !installed > 0 then
-          Rlibm.Constraints.persist_oracle_table ~func ~tin ~tout;
-        record ?log Oracle key
-          (if !computed = 0 then Hit else Rebuilt)
-          (Unix.gettimeofday () -. t0))
-  end;
-  oracle
+              if not (range_incomplete ~cfg ~family ~inputs ~oracle ~lo ~hi)
+              then
+                (* Already covered by the merged table: no store traffic. *)
+                shard_line "hit" 0
+              else
+                match
+                  (Cache.load ~kind:"oracle-shard" ~key:skey
+                    : ((int64 * int64) array option, Diag.Error.t) result)
+                with
+                | Ok (Some pairs) ->
+                    Array.iter (fun (x, y) -> Hashtbl.replace oracle x y) pairs;
+                    installed := !installed + Array.length pairs;
+                    Diag.event "shard.load" (fun () ->
+                        [
+                          ("index", Diag.Int k);
+                          ("count", Diag.Int shards);
+                          ("entries", Diag.Int (Array.length pairs));
+                        ]);
+                    shard_line "hit" (Array.length pairs)
+                | Ok None | Error _ ->
+                    (* Absent or quarantined-corrupt: recompute this
+                       slice — identical content makes a racing
+                       republish benign. *)
+                    let pairs =
+                      Rlibm.Constraints.oracle_range ~cfg ~family ~inputs ~lo
+                        ~hi
+                        ~known:(fun _ -> false)
+                    in
+                    (* Publish the shard before merging so a kill after
+                       this point never loses the completed Ziv work. *)
+                    ignore (Cache.store ~kind:"oracle-shard" ~key:skey pairs);
+                    Diag.event "shard.publish" (fun () ->
+                        [
+                          ("index", Diag.Int k);
+                          ("count", Diag.Int shards);
+                          ("entries", Diag.Int (Array.length pairs));
+                        ]);
+                    Array.iter (fun (x, y) -> Hashtbl.replace oracle x y) pairs;
+                    computed := !computed + Array.length pairs;
+                    installed := !installed + Array.length pairs;
+                    shard_line "rebuilt" (Array.length pairs))
+            indices;
+          match only_shard with
+          | Some k ->
+              let status = if !computed = 0 then Hit else Rebuilt in
+              record ?log Oracle
+                (oracle_shard_key ~cfg ~shards ~index:k func)
+                status
+                (Unix.gettimeofday () -. t0);
+              status
+          | None ->
+              (* Republish the assembled whole-table artifact whenever
+                 any shard contributed, so downstream stages and
+                 unsharded runs keep loading the single merged entry
+                 they always have. *)
+              if !installed > 0 then
+                Rlibm.Constraints.persist_oracle_table ~func ~tin ~tout;
+              let status = if !computed = 0 then Hit else Rebuilt in
+              record ?log Oracle key status (Unix.gettimeofday () -. t0);
+              status
+        end
+      in
+      (oracle, status))
+
+let oracle_stage ?log ?(shards = 1) ?only_shard ~(cfg : Rlibm.Config.t) func =
+  if shards < 1 then Error (Diag.Error.Shard_range { index = 0; count = shards })
+  else
+    match only_shard with
+    | Some k when k < 0 || k >= shards ->
+        Error (Diag.Error.Shard_range { index = k; count = shards })
+    | _ -> Ok (run_oracle ?log ~shards ?only_shard ~cfg func)
 
 (* ---------- stage 2: rounding intervals ---------- *)
 
 let intervals_stage ?log ~cfg func =
   staged ?log ~stage:Intervals ~key:(intervals_key ~cfg func) (fun () ->
-      let oracle = oracle_stage ?log ~cfg func in
+      let oracle = run_oracle ?log ~shards:1 ~cfg func in
       Rlibm.Constraints.rounding_intervals ~cfg ~family:(family_of ~cfg func)
         ~inputs:(inputs_of cfg) ~oracle)
 
@@ -309,7 +376,7 @@ let solved_stage ?log ~cfg ~scheme func =
   (staged ?log ~stage:Poly ~key:(poly_key ~cfg ~scheme func) (fun () ->
        let built = constraints_stage ?log ~cfg func in
        Rlibm.Generate.solve ?log ~cfg ~scheme ~func ~built ())
-    : (Rlibm.Generate.solved, string) result)
+    : (Rlibm.Generate.solved, Diag.Error.t) result)
 
 let generate ?log ~cfg ~scheme func =
   match solved_stage ?log ~cfg ~scheme func with
@@ -342,7 +409,7 @@ let verified ?log ?(narrow = true) ~cfg ~scheme func =
    hits; those duplicates are dropped). *)
 let run_stages ?log ?(narrow = true) ~cfg ~scheme func =
   let mark = List.length !events_rev in
-  ignore (oracle_stage ?log ~cfg func : (int64, int64) Hashtbl.t);
+  ignore (run_oracle ?log ~shards:1 ~cfg func : (int64, int64) Hashtbl.t);
   ignore
     (intervals_stage ?log ~cfg func
       : Rlibm.Constraints.rounding_interval array);
@@ -360,51 +427,59 @@ let run_stages ?log ?(narrow = true) ~cfg ~scheme func =
 
 type warm_report = {
   wm_entries : (Oracle.func * int) list;
-  wm_failed : (Oracle.func * Polyeval.scheme * string) list;
+  wm_failed : (Oracle.func * Polyeval.scheme * Diag.Error.t) list;
 }
 
 let warm ?log ?(schemes = Polyeval.paper_schemes) ?(through = Verdict)
     ?(shards = 1) ?only_shard pairs =
-  let depth =
-    (* A single-shard invocation is a distributed-driver slice of the
-       oracle stage: running any deeper stage would silently trigger the
-       full oracle computation the caller is trying to split up. *)
-    match only_shard with Some _ -> rank Oracle | None -> rank through
-  in
-  let failed = ref [] in
-  let entries =
-    List.map
-      (fun (func, cfg) ->
-        let oracle = oracle_stage ?log ~shards ?only_shard ~cfg func in
-        if depth >= rank Intervals then
-          ignore
-            (intervals_stage ?log ~cfg func
-              : Rlibm.Constraints.rounding_interval array);
-        if depth >= rank Constraints then
-          ignore
-            (constraints_stage ?log ~cfg func : Rlibm.Constraints.build_result);
-        if depth >= rank Poly then
-          List.iter
-            (fun scheme ->
-              let outcome =
-                if depth >= rank Verdict then
-                  Result.map ignore (verified ?log ~cfg ~scheme func)
-                else Result.map ignore (generate ?log ~cfg ~scheme func)
-              in
-              match outcome with
-              | Ok () -> ()
-              | Error msg ->
-                  failed := (func, scheme, msg) :: !failed;
-                  (match log with
-                  | Some f ->
-                      f
-                        (Printf.sprintf "%s/%s: generation failed: %s"
-                           (Oracle.name func)
-                           (Polyeval.scheme_name scheme)
-                           msg)
-                  | None -> ()))
-            schemes;
-        (func, Hashtbl.length oracle))
-      pairs
-  in
-  { wm_entries = entries; wm_failed = List.rev !failed }
+  if shards < 1 then Error (Diag.Error.Shard_range { index = 0; count = shards })
+  else
+    match only_shard with
+    | Some k when k < 0 || k >= shards ->
+        Error (Diag.Error.Shard_range { index = k; count = shards })
+    | _ ->
+        let depth =
+          (* A single-shard invocation is a distributed-driver slice of
+             the oracle stage: running any deeper stage would silently
+             trigger the full oracle computation the caller is trying to
+             split up. *)
+          match only_shard with Some _ -> rank Oracle | None -> rank through
+        in
+        let failed = ref [] in
+        let entries =
+          List.map
+            (fun (func, cfg) ->
+              let oracle = run_oracle ?log ~shards ?only_shard ~cfg func in
+              if depth >= rank Intervals then
+                ignore
+                  (intervals_stage ?log ~cfg func
+                    : Rlibm.Constraints.rounding_interval array);
+              if depth >= rank Constraints then
+                ignore
+                  (constraints_stage ?log ~cfg func
+                    : Rlibm.Constraints.build_result);
+              if depth >= rank Poly then
+                List.iter
+                  (fun scheme ->
+                    let outcome =
+                      if depth >= rank Verdict then
+                        Result.map ignore (verified ?log ~cfg ~scheme func)
+                      else Result.map ignore (generate ?log ~cfg ~scheme func)
+                    in
+                    match outcome with
+                    | Ok () -> ()
+                    | Error err ->
+                        failed := (func, scheme, err) :: !failed;
+                        (match log with
+                        | Some f ->
+                            f
+                              (Printf.sprintf "%s/%s: generation failed: %s"
+                                 (Oracle.name func)
+                                 (Polyeval.scheme_name scheme)
+                                 (Diag.Error.to_string err))
+                        | None -> ()))
+                  schemes;
+              (func, Hashtbl.length oracle))
+            pairs
+        in
+        Ok { wm_entries = entries; wm_failed = List.rev !failed }

@@ -119,7 +119,7 @@ val oracle_stage :
   ?only_shard:int ->
   cfg:Rlibm.Config.t ->
   Oracle.func ->
-  (int64, int64) Hashtbl.t
+  ((int64, int64) Hashtbl.t, Diag.Error.t) result
 (** Stage 1: the shared oracle table, complete for every finite
     non-shortcut input of [cfg.tin].  [Hit] when the (memoized or
     loaded) table already covered them; otherwise the missing Ziv loops
@@ -135,9 +135,8 @@ val oracle_stage :
     every downstream stage) is bit-identical for every [shards] and
     every [-j].  [only_shard] restricts the invocation to that single
     shard and skips the merge/republish — the distributed-driver mode;
-    the returned table is then possibly partial.
-    @raise Invalid_argument when [shards < 1] or [only_shard] is outside
-    [\[0, shards)]. *)
+    the returned table is then possibly partial.  [Error (Shard_range _)]
+    when [shards < 1] or [only_shard] is outside [\[0, shards)]. *)
 
 val intervals_stage :
   ?log:(string -> unit) ->
@@ -159,9 +158,9 @@ val generate :
   cfg:Rlibm.Config.t ->
   scheme:Polyeval.scheme ->
   Oracle.func ->
-  (Rlibm.Generate.generated, string) result
+  (Rlibm.Generate.generated, Diag.Error.t) result
 (** Stage 4: the LP polynomial for one scheme, assembled into a runnable
-    implementation.  Persists {!Rlibm.Generate.solved} (including
+    implementation.  Persists {!Rlibm.Generate.solved} (including typed
     [Error] outcomes — generation is deterministic, so a failure is a
     property of the knobs, not of the run). *)
 
@@ -171,7 +170,7 @@ val verified :
   cfg:Rlibm.Config.t ->
   scheme:Polyeval.scheme ->
   Oracle.func ->
-  (Rlibm.Generate.generated * Genlibm.verify_report, string) result
+  (Rlibm.Generate.generated * Genlibm.verify_report, Diag.Error.t) result
 (** Stage 5: exhaustive verification verdict for the generated
     function. *)
 
@@ -183,7 +182,8 @@ val run_stages :
   cfg:Rlibm.Config.t ->
   scheme:Polyeval.scheme ->
   Oracle.func ->
-  event list * (Rlibm.Generate.generated * Genlibm.verify_report, string) result
+  event list
+  * (Rlibm.Generate.generated * Genlibm.verify_report, Diag.Error.t) result
 (** Run every stage explicitly in pipeline order (cheap when warm) and
     return one event per executed stage — the [rlibm_gen stages]
     report.  When the polynomial stage fails, the verdict stage is
@@ -192,7 +192,7 @@ val run_stages :
 type warm_report = {
   wm_entries : (Oracle.func * int) list;
       (** per function, the oracle-table entry count after warming *)
-  wm_failed : (Oracle.func * Polyeval.scheme * string) list;
+  wm_failed : (Oracle.func * Polyeval.scheme * Diag.Error.t) list;
       (** every skipped polynomial/verdict generation, in encounter
           order — empty means the store is fully pre-filled *)
 }
@@ -204,15 +204,16 @@ val warm :
   ?shards:int ->
   ?only_shard:int ->
   (Oracle.func * Rlibm.Config.t) list ->
-  warm_report
+  (warm_report, Diag.Error.t) result
 (** Pre-fill the store: for each [(func, cfg)] run the pipeline through
     [through] (default {!Verdict}; the polynomial and verdict stages run
     once per scheme in [schemes], default {!Polyeval.paper_schemes}).
     [shards]/[only_shard] are passed to {!oracle_stage}; with
     [only_shard] set the invocation stops after that oracle shard
     regardless of [through] (a deeper stage would trigger the very
-    whole-universe computation the shard split avoids).  Generation
-    failures are logged and skipped — warming stays best-effort — but
-    every skip is reported in [wm_failed] so drivers (CI warm jobs in
-    particular) can fail loudly instead of silently half-filling the
-    store. *)
+    whole-universe computation the shard split avoids).
+    [Error (Shard_range _)] when the shard request is outside the grid.
+    Generation failures are logged and skipped — warming stays
+    best-effort — but every skip is reported typed in [wm_failed] so
+    drivers (CI warm jobs in particular) can fail loudly instead of
+    silently half-filling the store. *)

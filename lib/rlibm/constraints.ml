@@ -83,10 +83,15 @@ let oracle_table ~func ~(tin : Softfp.fmt) ~(tout : Softfp.fmt) =
   | None ->
       let t =
         match
-          (Cache.load ~kind:"oracle" ~key : (int64, int64) Hashtbl.t option)
+          (Cache.load ~kind:"oracle" ~key
+            : ((int64, int64) Hashtbl.t option, Diag.Error.t) result)
         with
-        | Some t -> t
-        | None -> Hashtbl.create 4096
+        | Ok (Some t) -> t
+        | Ok None | Error _ ->
+            (* Corrupt entries are quarantined by the store; an empty
+               table just means every range recomputes, so the oracle
+               layer self-heals rather than failing the stage. *)
+            Hashtbl.create 4096
       in
       Hashtbl.replace oracle_cache key t;
       t
@@ -94,7 +99,7 @@ let oracle_table ~func ~(tin : Softfp.fmt) ~(tout : Softfp.fmt) =
 let persist_oracle_table ~func ~(tin : Softfp.fmt) ~(tout : Softfp.fmt) =
   let key = oracle_cache_key ~func ~tin ~tout in
   match Hashtbl.find_opt oracle_cache key with
-  | Some t -> Cache.store ~kind:"oracle" ~key t
+  | Some t -> ignore (Cache.store ~kind:"oracle" ~key t)
   | None -> ()
 
 (* ---------- stage bodies ----------

@@ -21,7 +21,10 @@
 type piece_outcome =
   | Done of { compiled : Polyeval.compiled; specials : int64 list; rounds : int }
   | Scheme_na  (* the scheme cannot express this degree (Knuth outside 4-6) *)
-  | Unsat
+  | Unsat of { lp_infeasible : bool }
+      (* [lp_infeasible]: the LP rejected the *original* intervals (round
+         1, nothing shrunk yet) — a hard fact about this degree, as
+         opposed to the round/special budget running out. *)
 
 let copy_points pts =
   Array.map
@@ -136,11 +139,11 @@ let solve_piece ?(log = fun _ -> ()) ~scheme ~degree ~max_rounds ~max_specials
     !best_local
   in
   let rec loop round =
-    let finish () =
+    let finish ?(lp_infeasible = false) () =
       match !best with
       | Some (nv, compiled, violated) when nv <= max_specials ->
           Done { compiled; specials = inputs_of violated; rounds = round }
-      | _ -> Unsat
+      | _ -> Unsat { lp_infeasible }
     in
     if round > max_rounds || !stagnant > 6 then finish ()
     else begin
@@ -170,7 +173,7 @@ let solve_piece ?(log = fun _ -> ()) ~scheme ~degree ~max_rounds ~max_specials
       | Lp.Unsat ->
           log
             (Printf.sprintf "degree %d: LP infeasible at round %d" degree round);
-          finish ()
+          finish ~lp_infeasible:(round = 1) ()
       | Lp.Sat (coeffs_rat, working) -> (
           warm_global := List.map (fun pos -> act_idx.(pos)) working;
           let coeffs = Array.map Rat.to_float coeffs_rat in
@@ -330,13 +333,26 @@ let solve ?(log = fun _ -> ()) ~(cfg : Config.t) ~scheme ~func
           | Polyeval.Knuth -> Stdlib.max cfg.min_degree 4
           | _ -> cfg.min_degree
         in
-        let rec try_degree d =
+        let rec try_degree ~last_lp d =
           if d > cfg.max_degree then
             failure :=
               Some
-                (Printf.sprintf "%s/%s piece %d: no polynomial up to degree %d"
-                   (Oracle.name func) (Polyeval.scheme_name scheme) pi
-                   cfg.max_degree)
+                (if last_lp then
+                   Diag.Error.Lp_infeasible
+                     {
+                       func = Oracle.name func;
+                       scheme = Polyeval.scheme_name scheme;
+                       piece = pi;
+                       degree = cfg.max_degree;
+                     }
+                 else
+                   Diag.Error.Budget_exhausted
+                     {
+                       func = Oracle.name func;
+                       scheme = Polyeval.scheme_name scheme;
+                       piece = pi;
+                       max_degree = cfg.max_degree;
+                     })
           else begin
             log
               (Printf.sprintf "%s/%s piece %d: trying degree %d (%d constraints)"
@@ -353,15 +369,16 @@ let solve ?(log = fun _ -> ()) ~(cfg : Config.t) ~scheme ~func
                 List.iter
                   (fun x -> specials := (x, decoded_result x) :: !specials)
                   sp
-            | Scheme_na | Unsat -> try_degree (d + 1)
+            | Scheme_na -> try_degree ~last_lp:false (d + 1)
+            | Unsat { lp_infeasible } -> try_degree ~last_lp:lp_infeasible (d + 1)
           end
         in
-        try_degree d0
+        try_degree ~last_lp:false d0
       end
     end
   done;
   match !failure with
-  | Some msg -> Error msg
+  | Some err -> Error err
   | None ->
       Ok
         {

@@ -20,7 +20,10 @@ type piece_outcome =
       rounds : int;
     }
   | Scheme_na  (** scheme undefined at this degree (Knuth outside 4–6) *)
-  | Unsat
+  | Unsat of { lp_infeasible : bool }
+      (** [lp_infeasible]: the LP rejected the original (unshrunk)
+          intervals outright, as opposed to the round/special budget
+          running out *)
 
 val solve_piece :
   ?log:(string -> unit) ->
@@ -71,7 +74,10 @@ type solved = {
 (** [solve ~cfg ~scheme ~func ~built ()] runs the per-piece degree
     escalation over an already-built constraint set.  A pure stage body:
     all randomness is seeded per (piece, degree), so the result is a
-    deterministic function of the arguments at every job count. *)
+    deterministic function of the arguments at every job count.
+    [Error] is typed: [Lp_infeasible] when the terminal degree's LP
+    rejected the original intervals outright, [Budget_exhausted] when
+    the degree/round/special budgets ran out. *)
 val solve :
   ?log:(string -> unit) ->
   cfg:Config.t ->
@@ -79,7 +85,7 @@ val solve :
   func:Oracle.func ->
   built:Constraints.build_result ->
   unit ->
-  (solved, string) result
+  (solved, Diag.Error.t) result
 
 (** [assemble ~cfg ~scheme ~func ~oracle sv] rebuilds the runnable
     implementation from the closure-free artifact: recompiles each
@@ -97,8 +103,8 @@ val assemble :
 (** [run ~cfg ~scheme ~func ~inputs ()] generates the full piecewise
     approximation for [func] over the given input patterns:
     {!Constraints.build}, then {!solve}, then {!assemble}.  [Error]
-    carries a description of the piece that could not be satisfied within
-    [cfg]'s degree/round/special budgets. *)
+    identifies the piece that could not be satisfied within [cfg]'s
+    degree/round/special budgets (see {!solve}). *)
 val run :
   ?log:(string -> unit) ->
   cfg:Config.t ->
@@ -106,4 +112,4 @@ val run :
   func:Oracle.func ->
   inputs:int64 array ->
   unit ->
-  (generated, string) result
+  (generated, Diag.Error.t) result

@@ -193,9 +193,15 @@ let log_table func ~table_bits =
         Printf.sprintf "logtab-%s-J%d-v1" (Oracle.name func) table_bits
       in
       let t =
-        match (Cache.load ~kind:"table" ~key:store_key : float array option) with
-        | Some t when Array.length t = 1 lsl table_bits -> t
+        match
+          (Cache.load ~kind:"table" ~key:store_key
+            : (float array option, Diag.Error.t) result)
+        with
+        | Ok (Some t) when Array.length t = 1 lsl table_bits -> t
         | _ ->
+            (* Miss, corrupt (already quarantined), unreadable, or
+               mis-sized: regenerate — the table is cheap relative to
+               the stages that consume it. *)
             let n = 1 lsl table_bits in
             let t =
               Array.init n (fun j ->
@@ -204,7 +210,7 @@ let log_table func ~table_bits =
                     Oracle.float64 func
                       (1.0 +. (float_of_int j /. float_of_int n)))
             in
-            Cache.store ~kind:"table" ~key:store_key t;
+            ignore (Cache.store ~kind:"table" ~key:store_key t);
             t
       in
       Hashtbl.replace table_cache key t;

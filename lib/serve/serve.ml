@@ -140,54 +140,76 @@ let build ?log specs =
   match duplicate_func specs with
   | Some (f, _, _) ->
       Error
-        (Printf.sprintf
-           "duplicate function %s in snapshot spec (lookups are per-function, \
-            so later entries would be shadowed)"
-           (Oracle.name f))
-  | None ->
-  let key = snapshot_key specs in
-  let logf s = match log with Some f -> f s | None -> () in
-  let rebuild () =
-    let rec resolve acc = function
-      | [] -> Ok (List.rev acc)
-      | (f, scheme, cfg) :: rest -> (
-          match Pipeline.generate ?log ~cfg ~scheme f with
-          | Error msg ->
-              Error
-                (Printf.sprintf "%s/%s: %s" (Oracle.name f)
-                   (Polyeval.scheme_name scheme) msg)
-          | Ok g ->
-              let se =
-                {
-                  se_func = f;
-                  se_scheme = scheme;
-                  se_cfg = cfg;
-                  se_solved = solved_of_generated g;
-                  se_table = table_of_generated g;
-                }
-              in
-              resolve (se :: acc) rest)
-    in
-    match resolve [] specs with
-    | Error _ as e -> e
-    | Ok stored ->
-        Cache.store ~kind:"snapshot" ~key stored;
-        logf (Printf.sprintf "snapshot %s: resolved and persisted" key);
-        Ok (mk key (List.map assemble_stored stored))
-  in
-  match (Cache.load ~kind:"snapshot" ~key : stored_entry list option) with
-  | Some stored when stored_matches specs stored -> (
-      try
-        let t = mk key (List.map assemble_stored stored) in
-        logf (Printf.sprintf "snapshot %s: loaded" key);
-        Ok t
-      with Invalid_argument _ ->
-        logf (Printf.sprintf "snapshot %s: stale stored entry; rebuilding" key);
-        rebuild ())
-  | Some _ ->
-      logf (Printf.sprintf "snapshot %s: stored entries mismatch; rebuilding" key);
-      rebuild ()
-  | None -> rebuild ()
+        (Diag.Error.Bad_config
+           {
+             what =
+               Printf.sprintf
+                 "duplicate function %s in snapshot spec (lookups are \
+                  per-function, so later entries would be shadowed)"
+                 (Oracle.name f);
+           })
+  | None -> (
+      let key = snapshot_key specs in
+      let logf s = match log with Some f -> f s | None -> () in
+      let rebuild () =
+        Diag.span "serve.build"
+          (fun () ->
+            [
+              ("key", Diag.String key);
+              ("entries", Diag.Int (List.length specs));
+            ])
+          (fun () ->
+            let rec resolve acc = function
+              | [] -> Ok (List.rev acc)
+              | (f, scheme, cfg) :: rest -> (
+                  match Pipeline.generate ?log ~cfg ~scheme f with
+                  | Error _ as e -> e
+                  | Ok g ->
+                      let se =
+                        {
+                          se_func = f;
+                          se_scheme = scheme;
+                          se_cfg = cfg;
+                          se_solved = solved_of_generated g;
+                          se_table = table_of_generated g;
+                        }
+                      in
+                      resolve (se :: acc) rest)
+            in
+            match resolve [] specs with
+            | Error e -> Error e
+            | Ok stored ->
+                ignore (Cache.store ~kind:"snapshot" ~key stored);
+                logf (Printf.sprintf "snapshot %s: resolved and persisted" key);
+                Ok (mk key (List.map assemble_stored stored)))
+      in
+      match
+        (Cache.load ~kind:"snapshot" ~key
+          : (stored_entry list option, Diag.Error.t) result)
+      with
+      | Ok (Some stored) when stored_matches specs stored -> (
+          try
+            let t = mk key (List.map assemble_stored stored) in
+            logf (Printf.sprintf "snapshot %s: loaded" key);
+            Ok t
+          with Invalid_argument _ ->
+            logf
+              (Printf.sprintf "snapshot %s: stale stored entry; rebuilding" key);
+            rebuild ())
+      | Ok (Some _) ->
+          logf
+            (Printf.sprintf "snapshot %s: stored entries mismatch; rebuilding"
+               key);
+          rebuild ()
+      | Ok None -> rebuild ()
+      | Error e ->
+          (* A snapshot that exists but fails validation is surfaced as
+             the typed error rather than silently rebuilt: the serving
+             path must never paper over store corruption.  The store has
+             already quarantined the file, so a retry rebuilds cleanly. *)
+          logf
+            (Printf.sprintf "snapshot %s: %s" key (Diag.Error.to_string e));
+          Error e)
 
 (* Both batch entry points drive the same chunked kernel sweep: the
    static Parallel chunk grid partitions [0, n), each chunk runs the
@@ -196,6 +218,8 @@ let build ?log specs =
    eval_bits per element, the output is bit-identical to the scalar
    path at every job count. *)
 let eval_entry_chunked (e : entry) ~src ~dst n =
+  Diag.event ~level:Diag.Debug "serve.batch-eval" (fun () ->
+      [ ("func", Diag.String (Oracle.name e.e_func)); ("n", Diag.Int n) ]);
   Parallel.iter_chunks n (fun lo hi ->
       Genlibm.eval_bits_into e.e_impl ~src ~dst ~lo ~hi)
 

@@ -48,16 +48,20 @@ val snapshot_key :
 (** [build specs] loads the persisted snapshot for [specs] if present
     (validating that every stored entry matches its request), otherwise
     resolves each request through {!Pipeline.generate} and persists the
-    result.  [Error] reports the first request whose generation failed;
-    nothing is persisted in that case.  A spec list naming the same
-    function twice is rejected with [Error] before any resolution:
-    lookups ({!find}, the batch entry points) are per-function, so the
-    later entry could never be served — it would be silently shadowed
-    by the first. *)
+    result.  Failures are typed: the first request whose generation
+    failed propagates its {!Diag.Error.t} (nothing is persisted then); a
+    spec list naming the same function twice is rejected with
+    [Bad_config] before any resolution (lookups — {!find}, the batch
+    entry points — are per-function, so the later entry could never be
+    served; it would be silently shadowed by the first); and a stored
+    snapshot that exists but fails store validation surfaces as
+    [Corrupt_artifact]/[Key_mismatch] rather than being silently
+    rebuilt — the file is quarantined, so an immediate retry rebuilds
+    cleanly. *)
 val build :
   ?log:(string -> unit) ->
   (Oracle.func * Polyeval.scheme * Rlibm.Config.t) list ->
-  (t, string) result
+  (t, Diag.Error.t) result
 
 val key : t -> string
 

@@ -31,7 +31,8 @@ let () =
         (fun (name, func, scheme, cfg) ->
           match Genlibm.generate ~cfg ~scheme func with
           | Error msg ->
-              Printf.eprintf "%s: generation failed: %s\n" name msg;
+              Printf.eprintf "%s: generation failed: %s\n" name
+                (Diag.Error.to_string msg);
               exit 1
           | Ok g ->
               let emitted = "rlibm_" ^ Oracle.name func in

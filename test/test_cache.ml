@@ -39,11 +39,18 @@ let check_counts ~hits ~misses ~corrupt () =
   Alcotest.(check int) "misses" misses s.Cache.misses;
   Alcotest.(check int) "corrupt-rejected" corrupt s.Cache.corrupt_rejected
 
-(* Expect a load to reject: [None], one corrupt-rejected count, the entry
-   quarantined aside (so the next load is a clean miss). *)
+(* Expect a load to reject: a typed corrupt/key-mismatch error, one
+   corrupt-rejected count, the entry quarantined aside (so the next load
+   is a clean miss). *)
 let check_rejected ~key d =
   let corrupt_before = (Cache.stats ()).Cache.corrupt_rejected in
-  Alcotest.(check bool) "rejected" true (Cache.load ~kind:"test" ~key = (None : int list option));
+  (match (Cache.load ~kind:"test" ~key : (int list option, Diag.Error.t) result) with
+  | Error (Diag.Error.Corrupt_artifact { kind; key = k; _ })
+  | Error (Diag.Error.Key_mismatch { kind; key = k }) ->
+      Alcotest.(check string) "error carries the kind" "test" kind;
+      Alcotest.(check string) "error carries the key" key k
+  | Ok _ -> Alcotest.fail "corrupt entry was not rejected"
+  | Error e -> Alcotest.failf "unexpected error %s" (Diag.Error.to_string e));
   Alcotest.(check int) "one more corrupt-rejected" (corrupt_before + 1)
     (Cache.stats ()).Cache.corrupt_rejected;
   Alcotest.(check bool) "quarantined aside" true
@@ -51,15 +58,16 @@ let check_rejected ~key d =
   Alcotest.(check bool) "original gone" false
     (Sys.file_exists (Cache.path_of_key key));
   Alcotest.(check bool) "subsequent load is a miss" true
-    (Cache.load ~kind:"test" ~key = (None : int list option))
+    (Cache.load ~kind:"test" ~key = (Ok None : (int list option, Diag.Error.t) result))
 
 let value : int list = List.init 257 (fun i -> (i * i) - 7)
 
 let test_roundtrip () =
   in_fresh_dir (fun _d ->
-      Cache.store ~kind:"test" ~key:"roundtrip" value;
+      Alcotest.(check bool) "store succeeds" true
+        (Cache.store ~kind:"test" ~key:"roundtrip" value = Ok ());
       Alcotest.(check bool) "loads back" true
-        (Cache.load ~kind:"test" ~key:"roundtrip" = Some value);
+        (Cache.load ~kind:"test" ~key:"roundtrip" = Ok (Some value));
       check_counts ~hits:1 ~misses:0 ~corrupt:0 ();
       let s = Cache.stats () in
       Alcotest.(check bool) "bytes written" true (s.Cache.bytes_written > 0);
@@ -69,16 +77,17 @@ let test_roundtrip () =
 let test_miss () =
   in_fresh_dir (fun _d ->
       Alcotest.(check bool) "absent" true
-        (Cache.load ~kind:"test" ~key:"never-stored" = (None : int list option));
+        (Cache.load ~kind:"test" ~key:"never-stored"
+        = (Ok None : (int list option, Diag.Error.t) result));
       check_counts ~hits:0 ~misses:1 ~corrupt:0 ())
 
 let test_per_kind_stats () =
   in_fresh_dir (fun _d ->
-      Cache.store ~kind:"oracle" ~key:"k1" value;
-      Cache.store ~kind:"poly" ~key:"k2" value;
-      ignore (Cache.load ~kind:"oracle" ~key:"k1" : int list option);
-      ignore (Cache.load ~kind:"oracle" ~key:"k1" : int list option);
-      ignore (Cache.load ~kind:"poly" ~key:"absent" : int list option);
+      ignore (Cache.store ~kind:"oracle" ~key:"k1" value : (unit, Diag.Error.t) result);
+      ignore (Cache.store ~kind:"poly" ~key:"k2" value : (unit, Diag.Error.t) result);
+      ignore (Cache.load ~kind:"oracle" ~key:"k1" : (int list option, Diag.Error.t) result);
+      ignore (Cache.load ~kind:"oracle" ~key:"k1" : (int list option, Diag.Error.t) result);
+      ignore (Cache.load ~kind:"poly" ~key:"absent" : (int list option, Diag.Error.t) result);
       let kinds = Cache.stats_by_kind () in
       let find k = List.assoc k kinds in
       let o = find "oracle" and p = find "poly" in
@@ -105,7 +114,7 @@ let test_per_kind_stats () =
 let test_truncated () =
   in_fresh_dir (fun d ->
       let key = "truncated" in
-      Cache.store ~kind:"test" ~key value;
+      ignore (Cache.store ~kind:"test" ~key value : (unit, Diag.Error.t) result);
       let path = Cache.path_of_key key in
       let data = read_file path in
       write_file path (String.sub data 0 (String.length data - 5));
@@ -114,7 +123,7 @@ let test_truncated () =
 let test_bitflip_payload () =
   in_fresh_dir (fun d ->
       let key = "bitflip" in
-      Cache.store ~kind:"test" ~key value;
+      ignore (Cache.store ~kind:"test" ~key value : (unit, Diag.Error.t) result);
       let path = Cache.path_of_key key in
       let b = Bytes.of_string (read_file path) in
       let off = Bytes.length b - 3 in
@@ -125,7 +134,7 @@ let test_bitflip_payload () =
 let test_wrong_version () =
   in_fresh_dir (fun d ->
       let key = "wrong-version" in
-      Cache.store ~kind:"test" ~key value;
+      ignore (Cache.store ~kind:"test" ~key value : (unit, Diag.Error.t) result);
       let path = Cache.path_of_key key in
       let b = Bytes.of_string (read_file path) in
       (* the u32 at offset 8 is the container format version *)
@@ -137,13 +146,14 @@ let test_wrong_key () =
   in_fresh_dir (fun d ->
       (* A file renamed (or hash-collided) onto another key's path still
          carries the full key in its header and must be rejected. *)
-      Cache.store ~kind:"test" ~key:"key-a" value;
+      ignore (Cache.store ~kind:"test" ~key:"key-a" value
+        : (unit, Diag.Error.t) result);
       write_file (Cache.path_of_key "key-b")
         (read_file (Cache.path_of_key "key-a"));
       check_rejected ~key:"key-b" d;
       (* the genuine entry is untouched *)
       Alcotest.(check bool) "key-a still loads" true
-        (Cache.load ~kind:"test" ~key:"key-a" = Some value))
+        (Cache.load ~kind:"test" ~key:"key-a" = Ok (Some value)))
 
 let test_legacy_unversioned_blob () =
   in_fresh_dir (fun d ->
@@ -161,7 +171,8 @@ let test_concurrent_writers () =
       let writer tag =
         Domain.spawn (fun () ->
             for i = 1 to rounds do
-              Cache.store ~kind:"test" ~key (tag, i)
+              ignore (Cache.store ~kind:"test" ~key (tag, i)
+                : (unit, Diag.Error.t) result)
             done)
       in
       let d1 = writer "a" and d2 = writer "b" in
@@ -169,11 +180,14 @@ let test_concurrent_writers () =
       Domain.join d2;
       (* Whatever interleaving happened, the published file is one
          writer's complete, validating record — never a torn mix. *)
-      (match (Cache.load ~kind:"test" ~key : (string * int) option) with
-      | Some (tag, i) ->
+      (match
+         (Cache.load ~kind:"test" ~key
+           : ((string * int) option, Diag.Error.t) result)
+       with
+      | Ok (Some (tag, i)) ->
           Alcotest.(check bool) "a complete record" true
             ((tag = "a" || tag = "b") && i = rounds)
-      | None -> Alcotest.fail "published entry must validate");
+      | Ok None | Error _ -> Alcotest.fail "published entry must validate");
       check_counts ~hits:1 ~misses:0 ~corrupt:0 ();
       Alcotest.(check (list string)) "no temp litter" []
         (dir_entries_with ~sub:".tmp-" d))
@@ -212,7 +226,7 @@ let fingerprint (g : Rlibm.Generate.generated) =
 let generate_and_verify () =
   Rlibm.Constraints.clear_memory_cache ();
   match Genlibm.generate ~cfg:tiny_cfg ~scheme:Polyeval.Estrin Oracle.Exp2 with
-  | Error msg -> Alcotest.failf "generation failed: %s" msg
+  | Error err -> Alcotest.failf "generation failed: %s" (Diag.Error.to_string err)
   | Ok g ->
       let inputs = Genlibm.inputs_exhaustive tiny_cfg.Rlibm.Config.tin in
       let rep = Genlibm.verify g ~inputs in

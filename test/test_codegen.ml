@@ -40,7 +40,9 @@ let generate_case (name, func, scheme, cfg) =
         Cache.with_persistence false (fun () ->
             Genlibm.generate ~cfg ~scheme func)
       with
-      | Error msg -> Alcotest.failf "%s: generation failed: %s" name msg
+      | Error msg ->
+          Alcotest.failf "%s: generation failed: %s" name
+            (Diag.Error.to_string msg)
       | Ok g ->
           Hashtbl.replace gen_cache name g;
           g)

@@ -132,10 +132,56 @@ let test_config_presets () =
         p32.Funcspec.pieces cfg32.Rlibm.Config.pieces)
     all_funcs
 
+(* resolve: of_name plus a typed Bad_spec with a typo suggestion when a
+   registered name (or alias) is within editing distance. *)
+let test_resolve () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Funcspec.name f ^ " resolves")
+        true
+        (Funcspec.resolve (Funcspec.name f) = Ok f))
+    all_funcs;
+  Alcotest.(check bool) "alias resolves" true
+    (Funcspec.resolve "ln" = Ok Funcspec.Log);
+  (match Funcspec.resolve "lgo2" with
+  | Error (Diag.Error.Bad_spec { name = "lgo2"; suggestion = Some "log2" }) ->
+      ()
+  | Error e ->
+      Alcotest.failf "expected a log2 suggestion, got %s"
+        (Diag.Error.to_string e)
+  | Ok _ -> Alcotest.fail "typo accepted");
+  (* a one-edit typo also renders the suggestion in the message *)
+  (match Funcspec.resolve "exp22" with
+  | Error (Diag.Error.Bad_spec { suggestion = Some _; _ } as e) ->
+      let msg = Diag.Error.to_string e in
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec at i =
+          i + nl <= hl && (String.sub hay i nl = needle || at (i + 1))
+        in
+        at 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "message offers the suggestion (%s)" msg)
+        true
+        (contains "did you mean" msg)
+  | Error e ->
+      Alcotest.failf "expected a suggestion, got %s" (Diag.Error.to_string e)
+  | Ok _ -> Alcotest.fail "typo accepted");
+  (* nothing close: a typed error without a far-fetched suggestion *)
+  match Funcspec.resolve "tan" with
+  | Error (Diag.Error.Bad_spec { name = "tan"; suggestion = None }) -> ()
+  | Error e ->
+      Alcotest.failf "expected a bare Bad_spec, got %s"
+        (Diag.Error.to_string e)
+  | Ok _ -> Alcotest.fail "unknown function accepted"
+
 let suite =
   [
     ("registry complete and self-keyed", `Quick, test_registry_complete);
     ("name round-trip and aliases", `Quick, test_name_roundtrip);
+    ("resolve: typed errors with suggestions", `Quick, test_resolve);
     ("family classification", `Quick, test_family_classification);
     ("log-family constants", `Quick, test_family_constants);
     ("domains and exact values", `Quick, test_domain_and_exact);

@@ -20,7 +20,7 @@ let inputs = lazy (Genlibm.inputs_exhaustive tiny)
 
 (* Generation is expensive; several tests share the same function, so the
    results are memoized for the whole suite run. *)
-let gen_cache : (Oracle.func * Polyeval.scheme, (Rlibm.Generate.generated, string) result) Hashtbl.t =
+let gen_cache : (Oracle.func * Polyeval.scheme, (Rlibm.Generate.generated, Diag.Error.t) result) Hashtbl.t =
   Hashtbl.create 16
 
 let generate_ok func scheme =
@@ -34,7 +34,7 @@ let generate_ok func scheme =
   in
   match r with
   | Ok g -> g
-  | Error msg -> Alcotest.failf "generation failed: %s" msg
+  | Error msg -> Alcotest.failf "generation failed: %s" (Diag.Error.to_string msg)
 
 let check_verified func scheme =
   let g = generate_ok func scheme in

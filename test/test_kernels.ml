@@ -21,7 +21,7 @@ let tiny = tiny_cfg.Rlibm.Config.tin
    for the whole suite run (same idiom as test_genlibm). *)
 let gen_cache :
     ( Oracle.func * Polyeval.scheme,
-      (Rlibm.Generate.generated, string) result )
+      (Rlibm.Generate.generated, Diag.Error.t) result )
     Hashtbl.t =
   Hashtbl.create 16
 
@@ -38,7 +38,8 @@ let generate_ok func scheme =
   | Ok g -> g
   | Error msg ->
       Alcotest.failf "%s/%s generation failed: %s" (Oracle.name func)
-        (Polyeval.scheme_name scheme) msg
+        (Polyeval.scheme_name scheme)
+        (Diag.Error.to_string msg)
 
 (* Every bit pattern of the format — the kernel must agree on the
    non-finite and special rows too, not just the polynomial path. *)
@@ -174,7 +175,9 @@ let test_serve_batch_into_jobs () =
       let snap =
         match Serve.build specs with
         | Ok t -> t
-        | Error msg -> Alcotest.failf "snapshot build failed: %s" msg
+        | Error err ->
+            Alcotest.failf "snapshot build failed: %s"
+              (Diag.Error.to_string err)
       in
       let inputs = all_patterns tiny in
       let n = Array.length inputs in
@@ -265,7 +268,8 @@ let test_binary32_sampled func =
   match r with
   | Error msg ->
       Alcotest.failf "%s binary32 sampled generation failed: %s"
-        (Oracle.name func) msg
+        (Oracle.name func)
+        (Diag.Error.to_string msg)
   | Ok g ->
       let name = Printf.sprintf "%s/binary32" (Oracle.name func) in
       check_bit_identity (name ^ " sampled") g sampled;

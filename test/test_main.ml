@@ -8,6 +8,7 @@ let () =
       ("softfp", Test_softfp.suite);
       ("fparith", Test_fparith.suite);
       ("dyadic", Test_dyadic.suite);
+      ("diag", Test_diag.suite);
       ("funcspec", Test_funcspec.suite);
       ("oracle", Test_oracle.suite);
       ("lp", Test_lp.suite);

@@ -164,7 +164,7 @@ let generate_at ~jobs func scheme =
       (* Re-pay the oracle construction so the fan-out actually runs. *)
       Rlibm.Constraints.clear_memory_cache ();
       match Genlibm.generate ~cfg:tiny_cfg ~scheme func with
-      | Error msg -> Alcotest.failf "generation failed: %s" msg
+      | Error msg -> Alcotest.failf "generation failed: %s" (Diag.Error.to_string msg)
       | Ok g ->
           let inputs =
             Genlibm.inputs_exhaustive tiny_cfg.Rlibm.Config.tin

@@ -60,8 +60,22 @@ let run_pass ?(scheme = Polyeval.Estrin) ?(func = Oracle.Exp2)
     List.map (fun e -> (e.Pipeline.ev_stage, e.Pipeline.ev_status)) events
   in
   match result with
-  | Error msg -> Alcotest.failf "generation failed: %s" msg
+  | Error err ->
+      Alcotest.failf "generation failed: %s" (Diag.Error.to_string err)
   | Ok (g, rep) -> (statuses, fingerprint g, rep)
+
+let warm_ok ?schemes ?through ?shards ?only_shard pairs =
+  match Pipeline.warm ?schemes ?through ?shards ?only_shard pairs with
+  | Ok report -> report
+  | Error err -> Alcotest.failf "warm failed: %s" (Diag.Error.to_string err)
+
+(* Unwrap a Result-typed oracle stage in tests that arrange valid shard
+   parameters. *)
+let oracle_ok ?shards ?only_shard ~cfg func =
+  match Pipeline.oracle_stage ?shards ?only_shard ~cfg func with
+  | Ok t -> t
+  | Error err ->
+      Alcotest.failf "oracle stage failed: %s" (Diag.Error.to_string err)
 
 let status_t =
   Alcotest.(
@@ -194,7 +208,7 @@ let test_resume_bit_identical () =
               (* "Interrupted" run: only stages 1-2 completed. *)
               Rlibm.Constraints.clear_memory_cache ();
               let report =
-                Pipeline.warm ~through:Pipeline.Intervals
+                warm_ok ~through:Pipeline.Intervals
                   [ (Oracle.Exp2, tiny_cfg) ]
               in
               Alcotest.(check int) "one pair warmed" 1
@@ -294,9 +308,7 @@ let test_sharded_bit_identical () =
           in_fresh_dir (fun _d ->
               Parallel.set_jobs jobs;
               Rlibm.Constraints.clear_memory_cache ();
-              let _ =
-                Pipeline.oracle_stage ~shards:5 ~cfg:tiny_cfg Oracle.Exp2
-              in
+              let _ = oracle_ok ~shards:5 ~cfg:tiny_cfg Oracle.Exp2 in
               let ref_bytes, ref_fp, ref_rep = reference in
               Alcotest.(check bool)
                 (Printf.sprintf "whole-table artifact bytes at -j %d" jobs)
@@ -325,16 +337,13 @@ let test_shard_resume () =
         (fun k ->
           Rlibm.Constraints.clear_memory_cache ();
           ignore
-            (Pipeline.oracle_stage ~shards:4 ~only_shard:k ~cfg:tiny_cfg
-               Oracle.Exp2
+            (oracle_ok ~shards:4 ~only_shard:k ~cfg:tiny_cfg Oracle.Exp2
               : (int64, int64) Hashtbl.t))
         [ 0; 1 ];
       (* Resume. *)
       Rlibm.Constraints.clear_memory_cache ();
       Cache.reset_stats ();
-      let t =
-        Pipeline.oracle_stage ~shards:4 ~cfg:tiny_cfg Oracle.Exp2
-      in
+      let t = oracle_ok ~shards:4 ~cfg:tiny_cfg Oracle.Exp2 in
       (match shard_stats () with
       | None -> Alcotest.fail "no oracle-shard store traffic on resume"
       | Some s ->
@@ -346,7 +355,7 @@ let test_shard_resume () =
       let unsharded =
         in_fresh_dir (fun _d ->
             Rlibm.Constraints.clear_memory_cache ();
-            Pipeline.oracle_stage ~cfg:tiny_cfg Oracle.Exp2)
+            oracle_ok ~cfg:tiny_cfg Oracle.Exp2)
       in
       let sorted tbl =
         Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
@@ -358,29 +367,29 @@ let test_shard_resume () =
       Rlibm.Constraints.clear_memory_cache ();
       Cache.reset_stats ();
       ignore
-        (Pipeline.oracle_stage ~shards:4 ~cfg:tiny_cfg Oracle.Exp2
+        (oracle_ok ~shards:4 ~cfg:tiny_cfg Oracle.Exp2
           : (int64, int64) Hashtbl.t);
       (match shard_stats () with
       | None -> ()
       | Some s ->
           Alcotest.(check int) "warm run loads no shard" 0 s.Cache.hits;
           Alcotest.(check int) "warm run computes no shard" 0 s.Cache.misses);
-      (* Bad shard parameters are rejected. *)
-      Alcotest.(check bool) "shards < 1 rejected" true
-        (try
-           ignore
-             (Pipeline.oracle_stage ~shards:0 ~cfg:tiny_cfg Oracle.Exp2
-               : (int64, int64) Hashtbl.t);
-           false
-         with Invalid_argument _ -> true);
-      Alcotest.(check bool) "only_shard out of range rejected" true
-        (try
-           ignore
-             (Pipeline.oracle_stage ~shards:4 ~only_shard:4 ~cfg:tiny_cfg
-                Oracle.Exp2
-               : (int64, int64) Hashtbl.t);
-           false
-         with Invalid_argument _ -> true))
+      (* Bad shard parameters are rejected with a typed error, not an
+         exception. *)
+      (match Pipeline.oracle_stage ~shards:0 ~cfg:tiny_cfg Oracle.Exp2 with
+      | Error (Diag.Error.Shard_range { count = 0; _ }) -> ()
+      | Ok _ -> Alcotest.fail "shards < 1 accepted"
+      | Error e ->
+          Alcotest.failf "expected Shard_range, got %s"
+            (Diag.Error.to_string e));
+      match
+        Pipeline.oracle_stage ~shards:4 ~only_shard:4 ~cfg:tiny_cfg Oracle.Exp2
+      with
+      | Error (Diag.Error.Shard_range { index = 4; count = 4 }) -> ()
+      | Ok _ -> Alcotest.fail "out-of-range only_shard accepted"
+      | Error e ->
+          Alcotest.failf "expected Shard_range, got %s"
+            (Diag.Error.to_string e))
 
 (* Two warmer *processes* racing on one store directory: the O_EXCL-temp
    publish protocol makes the race benign (identical content, atomic
@@ -453,18 +462,33 @@ let test_warm_reports_failures () =
         }
       in
       let report =
-        Pipeline.warm ~schemes:[ Polyeval.Estrin ] [ (Oracle.Exp2, doomed) ]
+        warm_ok ~schemes:[ Polyeval.Estrin ] [ (Oracle.Exp2, doomed) ]
       in
       Alcotest.(check int) "entry still warmed through the oracle" 1
         (List.length report.Pipeline.wm_entries);
       (match report.Pipeline.wm_failed with
-      | [ (Oracle.Exp2, Polyeval.Estrin, msg) ] ->
-          Alcotest.(check bool) "failure message non-empty" true (msg <> "")
+      | [ (Oracle.Exp2, Polyeval.Estrin, err) ] ->
+          (* a zeroed budget must surface as a typed generation error
+             (infeasible at the only degree tried, or out of budget) *)
+          (match err with
+          | Diag.Error.Budget_exhausted { func; scheme; max_degree; _ } ->
+              Alcotest.(check string) "failure func" "exp2" func;
+              Alcotest.(check string) "failure scheme" "estrin" scheme;
+              Alcotest.(check int) "failure degree bound" 0 max_degree
+          | Diag.Error.Lp_infeasible { func; scheme; degree; _ } ->
+              Alcotest.(check string) "failure func" "exp2" func;
+              Alcotest.(check string) "failure scheme" "estrin" scheme;
+              Alcotest.(check int) "failure degree bound" 0 degree
+          | e ->
+              Alcotest.failf "expected a typed generation failure, got %s"
+                (Diag.Error.to_string e));
+          Alcotest.(check bool) "failure message non-empty" true
+            (Diag.Error.to_string err <> "")
       | l -> Alcotest.failf "expected one failure, got %d" (List.length l));
       (* A healthy config reports no failures. *)
       Rlibm.Constraints.clear_memory_cache ();
       let ok =
-        Pipeline.warm ~schemes:[ Polyeval.Estrin ] [ (Oracle.Exp2, tiny_cfg) ]
+        warm_ok ~schemes:[ Polyeval.Estrin ] [ (Oracle.Exp2, tiny_cfg) ]
       in
       Alcotest.(check int) "healthy warm skips nothing" 0
         (List.length ok.Pipeline.wm_failed))

@@ -48,7 +48,8 @@ let with_jobs j f =
 let build_ok specs =
   match Serve.build specs with
   | Ok t -> t
-  | Error msg -> Alcotest.failf "snapshot build failed: %s" msg
+  | Error err ->
+      Alcotest.failf "snapshot build failed: %s" (Diag.Error.to_string err)
 
 let bits_of = Array.map Int64.bits_of_float
 
@@ -131,7 +132,8 @@ let test_duplicate_func_rejected () =
       Cache.reset_stats ();
       (match Serve.build dup with
       | Ok _ -> Alcotest.fail "duplicate spec accepted"
-      | Error msg ->
+      | Error (Diag.Error.Bad_config { what } as err) ->
+          let msg = Diag.Error.to_string err in
           let contains needle hay =
             let nl = String.length needle and hl = String.length hay in
             let rec at i =
@@ -142,7 +144,11 @@ let test_duplicate_func_rejected () =
           Alcotest.(check bool)
             (Printf.sprintf "error names the function (%s)" msg)
             true
-            (contains "exp2" msg && contains "duplicate" msg));
+            (contains "exp2" what && contains "duplicate" what
+            && contains "exp2" msg && contains "duplicate" msg)
+      | Error err ->
+          Alcotest.failf "expected Bad_config, got %s"
+            (Diag.Error.to_string err));
       (* The rejection must happen before any resolution: no stage ran,
          nothing was persisted. *)
       Alcotest.(check (list string)) "no store traffic" []

@@ -86,8 +86,9 @@ RLIBM_CACHE_DIR="$stagedir" dune exec --no-build bin/rlibm_gen.exe -- generate \
 diff "$coldg" "$warmg"
 echo "warm run: 5/5 stage hits, output bit-identical"
 # Interrupted run: only the oracle and rounding-interval stages complete.
+# (warm narrates on stderr; stdout is reserved for product output.)
 RLIBM_CACHE_DIR="$resumedir" dune exec --no-build bin/rlibm_gen.exe -- warm \
-  --func exp2 --through intervals --ebits 4 --prec 7 > /dev/null
+  --func exp2 --through intervals --ebits 4 --prec 7 2> /dev/null
 # Resume: stages 1-2 load, stages 3-5 rebuild, output bit-identical to cold.
 RLIBM_CACHE_DIR="$resumedir" dune exec --no-build bin/rlibm_gen.exe -- stages \
   --func exp2 --scheme estrin-fma --ebits 4 --prec 7 > "$stageout"
@@ -166,33 +167,34 @@ echo "kernel timings reported, serve-throughput JSON schema OK"
 
 echo "== sharded oracle warm smoke =="
 sharddir=$(mktemp -d)
-shardout=$(mktemp) && shardstats=$(mktemp)
+shardout=$(mktemp)
 trap 'rm -f "$tmp1" "$tmpN" "$cold" "$poisoned" "$stats" \
        "$coldg" "$warmg" "$resumedg" "$stageout" "$warmstats" \
        "$serve1" "$serveN" "$servestats" "$servebench" "$benchjson" \
-       "$shardout" "$shardstats"
+       "$shardout"
      rm -rf "$cachedir" "$stagedir" "$resumedir" "$servedir" "$sharddir"' EXIT
 # Half-run: warm two of the four oracle shards, one invocation each (the
-# distributed / killed-warmer shape).
+# distributed / killed-warmer shape).  All warm narration lives on
+# stderr, so the shard-status greps below read the stderr capture.
 RLIBM_CACHE_DIR="$sharddir" dune exec --no-build bin/rlibm_gen.exe -- warm \
-  --func exp2 --through oracle --shard 0/4 --ebits 4 --prec 7 > /dev/null
+  --func exp2 --through oracle --shard 0/4 --ebits 4 --prec 7 2> /dev/null
 RLIBM_CACHE_DIR="$sharddir" dune exec --no-build bin/rlibm_gen.exe -- warm \
-  --func exp2 --through oracle --shard 1/4 --ebits 4 --prec 7 > /dev/null
+  --func exp2 --through oracle --shard 1/4 --ebits 4 --prec 7 2> /dev/null
 # Resume: the full sharded warm must load shards 0-1 from the store and
 # compute only shards 2-3.
 RLIBM_CACHE_DIR="$sharddir" dune exec --no-build bin/rlibm_gen.exe -- warm \
   --func exp2 --through oracle --shards 4 --ebits 4 --prec 7 \
-  --cache-stats > "$shardout" 2> "$shardstats"
+  --cache-stats 2> "$shardout"
 for want in 'oracle shard 0/4 hit' 'oracle shard 1/4 hit' \
             'oracle shard 2/4 rebuilt' 'oracle shard 3/4 rebuilt'; do
   grep -q "$want" "$shardout" \
     || { echo "resume expected '$want':"; cat "$shardout"; exit 1; }
 done
-grep -Eq '^ *oracle-shard +2 hits, 2 misses' "$shardstats" \
-  || { echo "expected 2 shard loads + 2 computes:"; cat "$shardstats"; exit 1; }
+grep -Eq '^ *oracle-shard +2 hits, 2 misses' "$shardout" \
+  || { echo "expected 2 shard loads + 2 computes:"; cat "$shardout"; exit 1; }
 # Fully warm re-run: the republished whole table covers every shard.
 RLIBM_CACHE_DIR="$sharddir" dune exec --no-build bin/rlibm_gen.exe -- warm \
-  --func exp2 --through oracle --shards 4 --ebits 4 --prec 7 > "$shardout"
+  --func exp2 --through oracle --shards 4 --ebits 4 --prec 7 2> "$shardout"
 [ "$(grep -c 'oracle shard [0-3]/4 hit' "$shardout")" -eq 4 ] \
   || { echo "warm re-run expected 4 shard hits:"; cat "$shardout"; exit 1; }
 if grep -q 'rebuilt' "$shardout"; then
@@ -205,4 +207,105 @@ grep -Eq 'oracle  *hit' "$shardout" \
   || { echo "oracle stage missed after sharded warm:"; cat "$shardout"; exit 1; }
 echo "sharded warm: resume loads published shards, re-run all-hit, oracle stage warm"
 
+echo "== machine-readable stdout smoke (--gen-json) =="
+# With every narration line on stderr, a JSON artifact pointed at
+# /dev/stdout must leave stdout as one parseable document — nothing else
+# may leak into the stream.
+genjson=$(mktemp)
+trap 'rm -f "$tmp1" "$tmpN" "$cold" "$poisoned" "$stats" \
+       "$coldg" "$warmg" "$resumedg" "$stageout" "$warmstats" \
+       "$serve1" "$serveN" "$servestats" "$servebench" "$benchjson" \
+       "$shardout" "$genjson"
+     rm -rf "$cachedir" "$stagedir" "$resumedir" "$servedir" "$sharddir"' EXIT
+dune exec --no-build bench/main.exe -- --gen-json /dev/stdout --quick \
+  -j "$N" > "$genjson" 2> /dev/null
+python3 - "$genjson" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)  # fails if any narration leaked onto stdout
+for key in ("schema_version", "kind", "timestamp", "commit", "host",
+            "jobs", "input_bits", "scheme", "generation"):
+    assert key in doc, f"missing envelope key {key!r}"
+assert doc["kind"] == "staged-generation", doc["kind"]
+assert doc["generation"], "no generation rows"
+for row in doc["generation"]:
+    assert row["ok"] is True, row
+    assert row["warm_rebuilt_stages"] == 0, row
+EOF
+echo "--gen-json stdout parses as one JSON document, warm rebuilds = 0"
+
+echo "== trace smoke (cold/warm generate with --trace) =="
+# Trace files live at a stable path (not the mktemp pool) so CI can
+# upload them as a post-mortem artifact when this script fails; they are
+# removed only on success, at the bottom.
+tracedir="_build/trace-smoke"
+rm -rf "$tracedir" && mkdir -p "$tracedir"
+tracegen=$(mktemp -d)
+tracecold=$(mktemp) && tracewarm=$(mktemp) && tracenone=$(mktemp)
+trap 'rm -f "$tmp1" "$tmpN" "$cold" "$poisoned" "$stats" \
+       "$coldg" "$warmg" "$resumedg" "$stageout" "$warmstats" \
+       "$serve1" "$serveN" "$servestats" "$servebench" "$benchjson" \
+       "$shardout" "$genjson" "$tracecold" "$tracewarm" "$tracenone"
+     rm -rf "$cachedir" "$stagedir" "$resumedir" "$servedir" "$sharddir" \
+       "$tracegen"' EXIT
+RLIBM_CACHE_DIR="$tracegen" dune exec --no-build bin/rlibm_gen.exe -- generate \
+  --func exp2 --scheme estrin-fma --ebits 4 --prec 7 --verify \
+  --trace "$tracedir/cold.jsonl" -j 1 > "$tracecold" 2> /dev/null
+RLIBM_CACHE_DIR="$tracegen" dune exec --no-build bin/rlibm_gen.exe -- generate \
+  --func exp2 --scheme estrin-fma --ebits 4 --prec 7 --verify \
+  --trace "$tracedir/warm.jsonl" -j "$N" > "$tracewarm" 2> /dev/null
+# Observing the run must not move an output bit, at either job count.
+RLIBM_CACHE_DIR="$tracegen" dune exec --no-build bin/rlibm_gen.exe -- generate \
+  --func exp2 --scheme estrin-fma --ebits 4 --prec 7 --verify \
+  -j "$N" > "$tracenone" 2> /dev/null
+diff "$tracecold" "$tracewarm"
+diff "$tracewarm" "$tracenone"
+python3 - "$tracedir/cold.jsonl" "$tracedir/warm.jsonl" <<'EOF'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        lines = [json.loads(l) for l in f if l.strip()]
+    assert len(lines) > 1, f"{path}: empty trace"
+    header, events = lines[0], lines[1:]
+    assert header["schema_version"] == 1, header
+    assert header["kind"] == "rlibm-trace", header
+    for key in ("timestamp", "host", "jobs"):
+        assert key in header, header
+    for ev in events:
+        for key in ("ts", "level", "ev", "fields"):
+            assert key in ev, ev
+    return header, events
+
+def stage_ends(events):
+    return [e for e in events if e["ev"] == "stage.end"]
+
+cold_h, cold = load(sys.argv[1])
+warm_h, warm = load(sys.argv[2])
+assert cold_h["jobs"] == 1, cold_h["jobs"]
+assert any(e["fields"].get("status") == "rebuilt" for e in stage_ends(cold)), \
+    "cold run rebuilt no stage"
+warm_ends = stage_ends(warm)
+assert warm_ends, "warm trace has no stage spans"
+assert all(e["fields"].get("status") == "hit" for e in warm_ends), \
+    [e["fields"] for e in warm_ends]
+# Timing sanity.  Stage spans nest (a cold verdict span contains the
+# poly span, which contains the constraints span, ...), so only the
+# top-level stage spans — those not enclosed by another stage span —
+# partition the run; their durations must be non-negative and sum to no
+# more than the trace's own wall clock.
+for events in (cold, warm):
+    stage_ids = {e["span"] for e in events
+                 if e["ev"] in ("stage.begin", "stage.end")}
+    secs = [e["fields"]["seconds"] for e in stage_ends(events)]
+    assert all(s >= 0.0 for s in secs), secs
+    top = [e["fields"]["seconds"] for e in stage_ends(events)
+           if e.get("parent") not in stage_ids]
+    assert top, "no top-level stage spans"
+    wall = max(e["ts"] for e in events) - min(e["ts"] for e in events)
+    assert sum(top) <= wall + 0.25, (sum(top), wall)
+EOF
+echo "trace: schema OK, warm run all-hit, output bit-identical with tracing on"
+
+rm -rf "$tracedir"
 echo "== OK =="
