@@ -6,6 +6,8 @@
      rlibm_gen warm     [--func log2] [--through poly] [-j N]
                         [--shards S | --shard K/S]   (sharded oracle fill)
      rlibm_gen serve    [--func exp2 --func log2] [--check-scalar] [-j N]
+                        [--strict-snapshot]
+     rlibm_gen fsck     [--repair] [--max-age SECONDS] [--cache-dir DIR]
      rlibm_gen oracle   --func log2 --x 1.5 [--prec 96]
      rlibm_gen cost     [--degree 5]
 
@@ -253,12 +255,26 @@ let warm_cmd =
               (Polyeval.scheme_name scheme)
               (Diag.Error.to_string err))
           failed);
+    (* A warm whose publishes failed cached nothing, however well the
+       in-memory generation went: that is a failure of the one job warm
+       exists to do. *)
+    (match report.Pipeline.wm_store_failed with
+    | [] -> ()
+    | failed ->
+        Printf.eprintf "%d store publishes failed:\n" (List.length failed);
+        List.iter
+          (fun (f, err) ->
+            Printf.eprintf "  %s: %s\n" (Oracle.name f)
+              (Diag.Error.to_string err))
+          failed);
     Cli.report_cache_stats cache_stats;
     (* Exit through the first failure's typed code so drivers can
-       dispatch on it. *)
-    match report.Pipeline.wm_failed with
-    | (_, _, err) :: _ -> Cli.exit_error err
-    | [] -> ()
+       dispatch on it (generation failures first, then publish
+       failures). *)
+    match (report.Pipeline.wm_failed, report.Pipeline.wm_store_failed) with
+    | (_, _, err) :: _, _ -> Cli.exit_error err
+    | [], (_, err) :: _ -> Cli.exit_error err
+    | [], [] -> ()
   in
   let scheme_opt =
     Arg.(
@@ -297,7 +313,8 @@ let warm_cmd =
 
 let serve_cmd =
   let run funcs scheme ebits prec pieces table_bits count seed check_scalar
-      print_bits bench verbose jobs cache_dir cache_stats log_level trace =
+      print_bits bench strict_snapshot verbose jobs cache_dir cache_stats
+      log_level trace =
     Cli.set_jobs jobs;
     Cli.install_diag ~jobs:(Parallel.jobs ()) ~level:log_level ~trace ();
     Cli.set_cache_dir cache_dir;
@@ -315,7 +332,7 @@ let serve_cmd =
        bit-identical at every -j (tools/check.sh diffs it). *)
     Printf.eprintf "building snapshot of %d functions (-j %d)\n%!"
       (List.length specs) (Parallel.jobs ());
-    match Serve.build ~log specs with
+    match Serve.build ~log ~strict:strict_snapshot specs with
     | Error err -> Cli.exit_error err
     | Ok snap ->
         Printf.printf "snapshot %s (%d functions)\n" (Serve.key snap)
@@ -443,6 +460,16 @@ let serve_cmd =
              zero-allocation kernel path and report ns/eval and the \
              speedup on stderr (stdout stays job-count-invariant).")
   in
+  let strict_snapshot =
+    Arg.(
+      value & flag
+      & info [ "strict-snapshot" ]
+          ~doc:
+            "Fail with the typed store error when the persisted snapshot \
+             is corrupt or unreadable, instead of the default graceful \
+             degradation (regenerate through the pipeline under a \
+             diagnostic warning).")
+  in
   let verbose =
     Arg.(
       value & flag
@@ -459,8 +486,53 @@ let serve_cmd =
     Term.(
       const run $ Cli.func_list_arg $ Cli.scheme_arg $ Cli.ebits_arg
       $ Cli.prec_arg $ pieces_arg $ table_bits_arg $ count $ seed
-      $ check_scalar $ print_bits $ bench $ verbose $ Cli.jobs_arg
-      $ Cli.cache_dir_arg $ Cli.cache_stats_arg $ Cli.log_level_arg
+      $ check_scalar $ print_bits $ bench $ strict_snapshot $ verbose
+      $ Cli.jobs_arg $ Cli.cache_dir_arg $ Cli.cache_stats_arg
+      $ Cli.log_level_arg $ Cli.trace_arg)
+
+(* ---------- fsck ---------- *)
+
+let fsck_cmd =
+  let run repair max_age cache_dir log_level trace =
+    Cli.install_diag ~level:log_level ~trace ();
+    Cli.set_cache_dir cache_dir;
+    match Cache.fsck ~repair ~max_age () with
+    | Error err -> Cli.exit_error err
+    | Ok r ->
+        Printf.printf "%s\n" (Format.asprintf "%a" Cache.pp_fsck_report r);
+        (* Clean store (or just repaired): 0.  Findings the operator
+           still has to deal with: 1. *)
+        if not (Cache.fsck_clean r || repair) then exit 1
+  in
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Delete what the scan flags: stale temp files and aged \
+             quarantine files.  (Invalid entries are quarantined by the \
+             scan itself, with or without this flag — exactly what a \
+             reader would do on load.)")
+  in
+  let max_age =
+    Arg.(
+      value & opt float 3600.0
+      & info [ "max-age" ] ~docv:"SECONDS"
+          ~doc:
+            "Age threshold for flagging a live writer's temp files and \
+             quarantined $(b,.corrupt-*) files.  A dead writer's temps \
+             are flagged regardless of age.")
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Audit the persistent artifact store: validate every entry's \
+          header and checksum against its embedded key (quarantining \
+          invalid ones), and report orphaned temp files from crashed \
+          writers and aged quarantine files.  Exits 1 when findings \
+          remain, 0 when the store is clean or was repaired.")
+    Term.(
+      const run $ repair $ max_age $ Cli.cache_dir_arg $ Cli.log_level_arg
       $ Cli.trace_arg)
 
 (* ---------- oracle ---------- *)
@@ -542,4 +614,12 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "rlibm_gen" ~doc)
-          [ generate_cmd; stages_cmd; warm_cmd; serve_cmd; oracle_cmd; cost_cmd ]))
+          [
+            generate_cmd;
+            stages_cmd;
+            warm_cmd;
+            serve_cmd;
+            fsck_cmd;
+            oracle_cmd;
+            cost_cmd;
+          ]))

@@ -108,6 +108,9 @@ type stats = {
   corrupt_rejected : int;
       (** loads rejected by header/checksum/decode validation; each one
           quarantined a file *)
+  retried : int;
+      (** transient I/O failures absorbed by the bounded retry (each
+          increment is one extra attempt, not one failed operation) *)
   bytes_read : int;  (** file bytes of successful loads *)
   bytes_written : int;  (** file bytes of successful publishes *)
 }
@@ -131,3 +134,57 @@ val pp_stats_by_kind : Format.formatter -> (string * stats) list -> unit
 (** Global line plus the per-kind breakdown — the full [--cache-stats]
     report. *)
 val pp_report : Format.formatter -> unit -> unit
+
+(** {1 Failure model}
+
+    Every raw filesystem operation goes through {!Fault.Fs}, so the
+    whole store can be exercised under injected faults.  The real paths
+    are hardened accordingly:
+
+    - reads and writes restart on [EINTR] and continue after short
+      transfers until complete;
+    - a publish writes the unique temp fully, [fsync]s it, and only
+      then renames — a visible entry is also a durable one;
+    - transient errnos ([EIO]/[ENOSPC]/[EAGAIN]/[EBUSY]) get a bounded,
+      deterministic retry (3 attempts, fixed 10ms/20ms backoff, no
+      jitter) with a [cache.retry] Diag event and the {!stats.retried}
+      counters before surfacing as [Store_io];
+    - the first touch of a store directory reaps [.tmp-*] files whose
+      writer pid is dead (or that are older than 15 minutes), one
+      [cache.reap-temp] Diag event per file. *)
+
+(** {1 fsck} *)
+
+type fsck_report = {
+  fk_scanned : int;  (** regular entries examined *)
+  fk_valid : int;  (** entries whose header/CRC/key all validated *)
+  fk_quarantined : (string * string) list;
+      (** invalid entries moved aside, with the rejection reason —
+          quarantining happens even without [~repair], mirroring what a
+          reader would do on load *)
+  fk_stale_temps : string list;
+      (** orphaned [.tmp-*] files (writer dead, or older than
+          [max_age]) *)
+  fk_aged_corrupt : string list;
+      (** quarantined [.corrupt-*] files older than [max_age] *)
+  fk_reaped : int;  (** files deleted (only under [~repair:true]) *)
+}
+
+(** No issues: nothing quarantined, no stale temps, no aged quarantine
+    files.  ([fk_reaped] does not count against cleanliness: a repaired
+    store is reported on the pre-repair state.) *)
+val fsck_clean : fsck_report -> bool
+
+(** [fsck ()] scans {!dir}: every regular entry is validated against the
+    key embedded in its own header (magic, version, CRC, payload decode,
+    and filename = sanitized key); invalid entries are quarantined.
+    Stale temps and aged [.corrupt-*] files (older than [max_age],
+    default 1h) are reported, and deleted when [repair] is set.  A
+    missing store directory is vacuously clean.  [Error (Store_io _)]
+    only for directory/file read failures — a corrupt entry is a
+    finding, not an error. *)
+val fsck :
+  ?repair:bool -> ?max_age:float -> unit -> (fsck_report, Diag.Error.t) result
+
+(** Human-readable fsck summary plus one line per finding. *)
+val pp_fsck_report : Format.formatter -> fsck_report -> unit

@@ -117,6 +117,33 @@ let reset_events () = events_rev := []
 
 let status_name = function Hit -> "hit" | Rebuilt -> "rebuilt"
 
+(* ---------- publish-failure collection ----------
+
+   Stage publishes are best-effort for generation — the freshly computed
+   value still flows downstream, so an ENOSPC store must not abort a
+   run that could finish in memory.  But a driver that exists to fill
+   the store (warm) must not silently produce nothing: every failed
+   publish inside [collect_store_errors] is gathered and handed back.
+   Publishes run on the driver domain (the bodies fan out through
+   Parallel internally), so a plain dynamically-scoped ref suffices. *)
+
+let store_errors : Diag.Error.t list ref option ref = ref None
+
+let note_store_error = function
+  | Ok () -> ()
+  | Error e -> (
+      match !store_errors with Some acc -> acc := e :: !acc | None -> ())
+
+let collect_store_errors f =
+  let saved = !store_errors in
+  let acc = ref [] in
+  store_errors := Some acc;
+  Fun.protect
+    ~finally:(fun () -> store_errors := saved)
+    (fun () ->
+      let v = f () in
+      (v, List.rev !acc))
+
 (* The one emission point for per-stage outcomes: the in-process event
    list (what [events] / [pp_event] / the bench harness consume), the
    optional human log line, and the structured diag stream are three
@@ -161,9 +188,10 @@ let staged ?log ~stage ~key compute =
             (* Absent, or a corrupt entry the store already counted and
                quarantined: recompute and republish — the self-healing
                path.  A failed publish is not fatal (the store emitted
-               its own warning); the value still flows downstream. *)
+               its own warning, and the collector reports it to drivers
+               that care); the value still flows downstream. *)
             let v = compute () in
-            ignore (Cache.store ~kind ~key v);
+            note_store_error (Cache.store ~kind ~key v);
             (v, Rebuilt)
       in
       record ?log stage key status (Unix.gettimeofday () -. t0);
@@ -235,7 +263,8 @@ let run_oracle ?log ~shards ?only_shard ~(cfg : Rlibm.Config.t) func =
               ~inputs:(inputs_of cfg) ~oracle
           in
           if computed > 0 then
-            Rlibm.Constraints.persist_oracle_table ~func ~tin ~tout;
+            note_store_error
+              (Rlibm.Constraints.persist_oracle_table ~func ~tin ~tout);
           let status = if computed = 0 then Hit else Rebuilt in
           record ?log Oracle key status (Unix.gettimeofday () -. t0);
           status
@@ -304,7 +333,8 @@ let run_oracle ?log ~shards ?only_shard ~(cfg : Rlibm.Config.t) func =
                     in
                     (* Publish the shard before merging so a kill after
                        this point never loses the completed Ziv work. *)
-                    ignore (Cache.store ~kind:"oracle-shard" ~key:skey pairs);
+                    note_store_error
+                      (Cache.store ~kind:"oracle-shard" ~key:skey pairs);
                     Diag.event "shard.publish" (fun () ->
                         [
                           ("index", Diag.Int k);
@@ -330,7 +360,8 @@ let run_oracle ?log ~shards ?only_shard ~(cfg : Rlibm.Config.t) func =
                  unsharded runs keep loading the single merged entry
                  they always have. *)
               if !installed > 0 then
-                Rlibm.Constraints.persist_oracle_table ~func ~tin ~tout;
+                note_store_error
+                  (Rlibm.Constraints.persist_oracle_table ~func ~tin ~tout);
               let status = if !computed = 0 then Hit else Rebuilt in
               record ?log Oracle key status (Unix.gettimeofday () -. t0);
               status
@@ -428,6 +459,7 @@ let run_stages ?log ?(narrow = true) ~cfg ~scheme func =
 type warm_report = {
   wm_entries : (Oracle.func * int) list;
   wm_failed : (Oracle.func * Polyeval.scheme * Diag.Error.t) list;
+  wm_store_failed : (Oracle.func * Diag.Error.t) list;
 }
 
 let warm ?log ?(schemes = Polyeval.paper_schemes) ?(through = Verdict)
@@ -446,40 +478,66 @@ let warm ?log ?(schemes = Polyeval.paper_schemes) ?(through = Verdict)
           match only_shard with Some _ -> rank Oracle | None -> rank through
         in
         let failed = ref [] in
+        let store_failed = ref [] in
         let entries =
           List.map
             (fun (func, cfg) ->
-              let oracle = run_oracle ?log ~shards ?only_shard ~cfg func in
-              if depth >= rank Intervals then
-                ignore
-                  (intervals_stage ?log ~cfg func
-                    : Rlibm.Constraints.rounding_interval array);
-              if depth >= rank Constraints then
-                ignore
-                  (constraints_stage ?log ~cfg func
-                    : Rlibm.Constraints.build_result);
-              if depth >= rank Poly then
-                List.iter
-                  (fun scheme ->
-                    let outcome =
-                      if depth >= rank Verdict then
-                        Result.map ignore (verified ?log ~cfg ~scheme func)
-                      else Result.map ignore (generate ?log ~cfg ~scheme func)
+              let count, errs =
+                collect_store_errors (fun () ->
+                    let oracle =
+                      run_oracle ?log ~shards ?only_shard ~cfg func
                     in
-                    match outcome with
-                    | Ok () -> ()
-                    | Error err ->
-                        failed := (func, scheme, err) :: !failed;
-                        (match log with
-                        | Some f ->
-                            f
-                              (Printf.sprintf "%s/%s: generation failed: %s"
-                                 (Oracle.name func)
-                                 (Polyeval.scheme_name scheme)
-                                 (Diag.Error.to_string err))
-                        | None -> ()))
-                  schemes;
-              (func, Hashtbl.length oracle))
+                    if depth >= rank Intervals then
+                      ignore
+                        (intervals_stage ?log ~cfg func
+                          : Rlibm.Constraints.rounding_interval array);
+                    if depth >= rank Constraints then
+                      ignore
+                        (constraints_stage ?log ~cfg func
+                          : Rlibm.Constraints.build_result);
+                    if depth >= rank Poly then
+                      List.iter
+                        (fun scheme ->
+                          let outcome =
+                            if depth >= rank Verdict then
+                              Result.map ignore
+                                (verified ?log ~cfg ~scheme func)
+                            else
+                              Result.map ignore
+                                (generate ?log ~cfg ~scheme func)
+                          in
+                          match outcome with
+                          | Ok () -> ()
+                          | Error err ->
+                              failed := (func, scheme, err) :: !failed;
+                              (match log with
+                              | Some f ->
+                                  f
+                                    (Printf.sprintf
+                                       "%s/%s: generation failed: %s"
+                                       (Oracle.name func)
+                                       (Polyeval.scheme_name scheme)
+                                       (Diag.Error.to_string err))
+                              | None -> ()))
+                        schemes;
+                    Hashtbl.length oracle)
+              in
+              List.iter
+                (fun e ->
+                  store_failed := (func, e) :: !store_failed;
+                  match log with
+                  | Some f ->
+                      f
+                        (Printf.sprintf "%s: store publish failed: %s"
+                           (Oracle.name func) (Diag.Error.to_string e))
+                  | None -> ())
+                errs;
+              (func, count))
             pairs
         in
-        Ok { wm_entries = entries; wm_failed = List.rev !failed }
+        Ok
+          {
+            wm_entries = entries;
+            wm_failed = List.rev !failed;
+            wm_store_failed = List.rev !store_failed;
+          }

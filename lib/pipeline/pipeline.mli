@@ -195,6 +195,12 @@ type warm_report = {
   wm_failed : (Oracle.func * Polyeval.scheme * Diag.Error.t) list;
       (** every skipped polynomial/verdict generation, in encounter
           order — empty means the store is fully pre-filled *)
+  wm_store_failed : (Oracle.func * Diag.Error.t) list;
+      (** every failed stage/shard/whole-table publish, in encounter
+          order.  Generation tolerates a failed publish (the value flows
+          downstream in memory), but warming exists to fill the store —
+          an ENOSPC or read-only store must be reported, not shrugged
+          off as a successful warm that cached nothing. *)
 }
 
 val warm :
@@ -214,6 +220,7 @@ val warm :
     whole-universe computation the shard split avoids).
     [Error (Shard_range _)] when the shard request is outside the grid.
     Generation failures are logged and skipped — warming stays
-    best-effort — but every skip is reported typed in [wm_failed] so
-    drivers (CI warm jobs in particular) can fail loudly instead of
-    silently half-filling the store. *)
+    best-effort — but every skip is reported typed in [wm_failed], and
+    every failed publish in [wm_store_failed], so drivers (CI warm jobs
+    in particular) can fail loudly instead of silently half-filling the
+    store. *)

@@ -99,8 +99,8 @@ let oracle_table ~func ~(tin : Softfp.fmt) ~(tout : Softfp.fmt) =
 let persist_oracle_table ~func ~(tin : Softfp.fmt) ~(tout : Softfp.fmt) =
   let key = oracle_cache_key ~func ~tin ~tout in
   match Hashtbl.find_opt oracle_cache key with
-  | Some t -> ignore (Cache.store ~kind:"oracle" ~key t)
-  | None -> ()
+  | Some t -> Cache.store ~kind:"oracle" ~key t
+  | None -> Ok ()
 
 (* ---------- stage bodies ----------
 
@@ -268,7 +268,11 @@ let build ~(cfg : Config.t) ~(family : Reduction.t) ~(inputs : int64 array) =
   let tin = cfg.tin and tout = Config.tout cfg in
   let oracle = oracle_table ~func:family.func ~tin ~tout in
   ignore (ensure_oracle ~cfg ~family ~inputs ~oracle : int);
-  persist_oracle_table ~func:family.func ~tin ~tout;
+  (* Best-effort on this legacy composed path; the pipeline collects
+     publish failures at its own call sites. *)
+  ignore
+    (persist_oracle_table ~func:family.func ~tin ~tout
+      : (unit, Diag.Error.t) result);
   let rivals = rounding_intervals ~cfg ~family ~inputs ~oracle in
   let points, immediate_specials = combine ~cfg ~family ~rivals in
   { points; immediate_specials; oracle }

@@ -141,9 +141,14 @@ val oracle_table :
   (int64, int64) Hashtbl.t
 
 (** Publish the memoized oracle table of [(func, tin, tout)] through the
-    persistent store (no-op if the triple was never materialized). *)
+    persistent store ([Ok ()] if the triple was never materialized).
+    [Error (Store_io _)] when the publish failed — callers that exist to
+    fill the store must propagate it instead of ignoring. *)
 val persist_oracle_table :
-  func:Oracle.func -> tin:Softfp.fmt -> tout:Softfp.fmt -> unit
+  func:Oracle.func ->
+  tin:Softfp.fmt ->
+  tout:Softfp.fmt ->
+  (unit, Diag.Error.t) result
 
 (** The collision-free persistent-store key of the oracle table for
     [(func, tin, tout)]: covers both formats' exponent width {e and}

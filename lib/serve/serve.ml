@@ -136,7 +136,7 @@ let duplicate_func specs =
        false))
     specs
 
-let build ?log specs =
+let build ?log ?(strict = false) specs =
   match duplicate_func specs with
   | Some (f, _, _) ->
       Error
@@ -202,14 +202,29 @@ let build ?log specs =
                key);
           rebuild ()
       | Ok None -> rebuild ()
-      | Error e ->
-          (* A snapshot that exists but fails validation is surfaced as
-             the typed error rather than silently rebuilt: the serving
-             path must never paper over store corruption.  The store has
-             already quarantined the file, so a retry rebuilds cleanly. *)
+      | Error e when strict ->
+          (* Strict mode: a snapshot that exists but fails validation is
+             surfaced as the typed error rather than silently rebuilt.
+             The store has already quarantined the file, so a retry
+             rebuilds cleanly. *)
           logf
             (Printf.sprintf "snapshot %s: %s" key (Diag.Error.to_string e));
-          Error e)
+          Error e
+      | Error e ->
+          (* Graceful degradation (default): the corrupt or unreadable
+             snapshot is already quarantined/warned by the store, and
+             every upstream artifact is still reachable through the
+             pipeline — so serving regenerates instead of going down.
+             The warn event keeps the corruption loud for operators. *)
+          Diag.event ~level:Diag.Warn "serve.degraded" (fun () ->
+              [
+                ("key", Diag.String key);
+                ("error", Diag.String (Diag.Error.to_string e));
+              ]);
+          logf
+            (Printf.sprintf "snapshot %s: %s; regenerating" key
+               (Diag.Error.to_string e));
+          rebuild ())
 
 (* Both batch entry points drive the same chunked kernel sweep: the
    static Parallel chunk grid partitions [0, n), each chunk runs the

@@ -49,17 +49,24 @@ val snapshot_key :
     (validating that every stored entry matches its request), otherwise
     resolves each request through {!Pipeline.generate} and persists the
     result.  Failures are typed: the first request whose generation
-    failed propagates its {!Diag.Error.t} (nothing is persisted then); a
-    spec list naming the same function twice is rejected with
+    failed propagates its {!Diag.Error.t} (nothing is persisted then),
+    and a spec list naming the same function twice is rejected with
     [Bad_config] before any resolution (lookups — {!find}, the batch
     entry points — are per-function, so the later entry could never be
-    served; it would be silently shadowed by the first); and a stored
-    snapshot that exists but fails store validation surfaces as
-    [Corrupt_artifact]/[Key_mismatch] rather than being silently
-    rebuilt — the file is quarantined, so an immediate retry rebuilds
-    cleanly. *)
+    served; it would be silently shadowed by the first).
+
+    A stored snapshot that exists but fails store validation
+    ([Corrupt_artifact]/[Key_mismatch]/[Store_io]) degrades gracefully
+    by default: the store has already quarantined/warned, a
+    [serve.degraded] Diag warn is emitted, and the snapshot regenerates
+    through the pipeline — serving availability wins over a bad file.
+    With [strict:true] (the [--strict-snapshot] CLI flag) the typed
+    error surfaces instead — for deployments that would rather go down
+    than spend an unbounded regeneration at startup; the quarantine
+    makes an immediate retry rebuild cleanly. *)
 val build :
   ?log:(string -> unit) ->
+  ?strict:bool ->
   (Oracle.func * Polyeval.scheme * Rlibm.Config.t) list ->
   (t, Diag.Error.t) result
 

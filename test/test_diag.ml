@@ -115,23 +115,27 @@ let test_store_io_error () =
 
 (* ---------- typed corrupt-snapshot error from Serve.build ---------- *)
 
+(* Build a snapshot, then flip one payload byte in the stored file so
+   the next load hits the store's CRC check. *)
+let build_then_corrupt specs =
+  (match Serve.build ~strict:true specs with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "cold build failed: %s" (Diag.Error.to_string e));
+  let path = Cache.path_of_key (Serve.snapshot_key specs) in
+  Alcotest.(check bool) "snapshot persisted" true (Sys.file_exists path);
+  let b = Bytes.of_string (read_file path) in
+  let off = Bytes.length b - 9 in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x20));
+  write_file path (Bytes.to_string b)
+
 let test_corrupt_snapshot_is_typed () =
   in_fresh_dir (fun d ->
       let specs = [ (Oracle.Exp2, Polyeval.Horner, tiny_cfg) ] in
-      (match Serve.build specs with
-      | Ok _ -> ()
-      | Error e ->
-          Alcotest.failf "cold build failed: %s" (Diag.Error.to_string e));
-      let path = Cache.path_of_key (Serve.snapshot_key specs) in
-      Alcotest.(check bool) "snapshot persisted" true (Sys.file_exists path);
-      (* flip a payload byte: the store must reject the entry and
-         Serve.build must surface that as the typed error — no
-         exception, no silent rebuild *)
-      let b = Bytes.of_string (read_file path) in
-      let off = Bytes.length b - 9 in
-      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x20));
-      write_file path (Bytes.to_string b);
-      (match Serve.build specs with
+      build_then_corrupt specs;
+      (* strict mode: the store must reject the entry and Serve.build
+         must surface that as the typed error — no exception, no silent
+         rebuild *)
+      (match Serve.build ~strict:true specs with
       | Error (Diag.Error.Corrupt_artifact { kind = "snapshot"; key; _ }) ->
           Alcotest.(check string) "error carries the snapshot key"
             (Serve.snapshot_key specs) key
@@ -143,12 +147,44 @@ let test_corrupt_snapshot_is_typed () =
       Alcotest.(check bool) "quarantined" true
         (Sys.readdir d |> Array.to_list
         |> List.exists (contains ~sub:".corrupt-"));
-      match Serve.build specs with
+      match Serve.build ~strict:true specs with
       | Ok snap ->
           Alcotest.(check int) "retry rebuilds" 1
             (List.length (Serve.entries snap))
       | Error e ->
           Alcotest.failf "retry failed: %s" (Diag.Error.to_string e))
+
+(* Default mode degrades gracefully: the corrupt snapshot is
+   quarantined, a serve.degraded warn is emitted, and the build
+   regenerates through the (warm) pipeline instead of failing. *)
+let test_corrupt_snapshot_degrades_by_default () =
+  in_fresh_dir (fun d ->
+      let specs = [ (Oracle.Exp2, Polyeval.Horner, tiny_cfg) ] in
+      build_then_corrupt specs;
+      let sink, drain = Diag.memory_sink ~min_level:Diag.Warn () in
+      (match Diag.with_sinks [ sink ] (fun () -> Serve.build specs) with
+      | Ok snap ->
+          Alcotest.(check int) "degraded build serves" 1
+            (List.length (Serve.entries snap))
+      | Error e ->
+          Alcotest.failf "default build must degrade, got %s"
+            (Diag.Error.to_string e));
+      let evs = drain () in
+      (match
+         List.find_opt (fun ev -> ev.Diag.ev_name = "serve.degraded") evs
+       with
+      | Some ev ->
+          Alcotest.(check bool) "degradation names the snapshot key" true
+            (List.assoc_opt "key" ev.Diag.ev_fields
+            = Some (Diag.String (Serve.snapshot_key specs)))
+      | None -> Alcotest.fail "no serve.degraded warn emitted");
+      (* the bad file was still quarantined, and the regenerated
+         snapshot was re-persisted for the next load *)
+      Alcotest.(check bool) "quarantined" true
+        (Sys.readdir d |> Array.to_list
+        |> List.exists (contains ~sub:".corrupt-"));
+      Alcotest.(check bool) "re-persisted" true
+        (Sys.file_exists (Cache.path_of_key (Serve.snapshot_key specs))))
 
 (* ---------- event layer: levels, nesting, zero-cost gating ---------- *)
 
@@ -349,8 +385,10 @@ let suite =
     ("span nesting and ids", `Quick, test_span_nesting);
     ("span failure is recorded and re-raised", `Quick, test_span_exception);
     ("JSONL trace sink", `Quick, test_trace_sink);
-    ("corrupt snapshot surfaces typed from Serve.build", `Slow,
+    ("corrupt snapshot surfaces typed from strict Serve.build", `Slow,
      test_corrupt_snapshot_is_typed);
+    ("corrupt snapshot degrades gracefully by default", `Slow,
+     test_corrupt_snapshot_degrades_by_default);
     ("warm pipeline run emits only hit spans", `Slow,
      test_warm_run_emits_only_hits);
   ]

@@ -17,6 +17,7 @@ let () =
       ("genlibm", Test_genlibm.suite);
       ("codegen", Test_codegen.suite);
       ("cache", Test_cache.suite);
+      ("fault", Test_fault.suite);
       ("pipeline", Test_pipeline.suite);
       ("serve", Test_serve.suite);
       ("kernels", Test_kernels.suite);

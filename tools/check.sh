@@ -11,7 +11,11 @@
 # serve-throughput JSON artifact matches its schema, every row
 # bit-identical), and smoke-check sharded oracle warming (single-shard
 # warms resume into a full run that loads — never recomputes — the
-# published shards; a re-run hits every shard and the whole table).
+# published shards; a re-run hits every shard and the whole table),
+# and smoke-check the fault-injection substrate (an injected-ENOSPC warm
+# exits through the typed store-io code; a process aborted at a mutating
+# store operation leaves a store that fsck repairs with nothing
+# quarantined and a resumed run completes bit-identically).
 # Usage: tools/check.sh [N]   (N = fan-out width, default 4)
 set -eu
 
@@ -307,5 +311,64 @@ for events in (cold, warm):
 EOF
 echo "trace: schema OK, warm run all-hit, output bit-identical with tracing on"
 
-rm -rf "$tracedir"
+echo "== fault smoke (injected ENOSPC, kill-point resume, fsck) =="
+# Fault artifacts live at a stable path (like the trace smoke) so CI can
+# upload the fsck report and any quarantined files as post-mortem
+# artifacts when this script fails; removed only on success, at the
+# bottom.
+faultdir="_build/fault-smoke"
+rm -rf "$faultdir" && mkdir -p "$faultdir"
+# Sticky injected ENOSPC on every store write: warm completes the
+# computation in memory but must report every failed publish and exit
+# through the typed store-io code (3) with the uniform error rendering.
+mkdir -p "$faultdir/enospc-store"
+rc=0
+RLIBM_CACHE_DIR="$faultdir/enospc-store" RLIBM_FAULT_PLAN='write@1+=enospc' \
+  dune exec --no-build bin/rlibm_gen.exe -- warm \
+  --func exp2 --through oracle --ebits 4 --prec 7 \
+  > "$faultdir/enospc.out" 2> "$faultdir/enospc.err" || rc=$?
+[ "$rc" -eq 3 ] \
+  || { echo "injected ENOSPC: expected exit 3, got $rc"
+       cat "$faultdir/enospc.err"; exit 1; }
+grep -q 'store publishes failed' "$faultdir/enospc.err" \
+  || { echo "failed publishes not reported:"; cat "$faultdir/enospc.err"; exit 1; }
+grep -q 'rlibm: store I/O error' "$faultdir/enospc.err" \
+  || { echo "no typed store-io message:"; cat "$faultdir/enospc.err"; exit 1; }
+# Kill-point: abort the process at a mutating store operation mid-way
+# through a sharded publish; fsck --repair must find nothing quarantined
+# (atomic publish can orphan temps, never expose a torn entry) and a
+# resumed run must leave the store byte-identical to an uninterrupted
+# control run.
+mkdir -p "$faultdir/control" "$faultdir/killed"
+RLIBM_CACHE_DIR="$faultdir/control" dune exec --no-build bin/rlibm_gen.exe -- \
+  warm --func exp2 --through oracle --shards 2 --ebits 4 --prec 7 \
+  2> /dev/null
+rc=0
+RLIBM_CACHE_DIR="$faultdir/killed" RLIBM_FAULT_PLAN='mut@4=abort' \
+  dune exec --no-build bin/rlibm_gen.exe -- warm \
+  --func exp2 --through oracle --shards 2 --ebits 4 --prec 7 \
+  2> "$faultdir/killed.err" || rc=$?
+[ "$rc" -eq 70 ] \
+  || { echo "kill-point: expected abort exit 70, got $rc"
+       cat "$faultdir/killed.err"; exit 1; }
+dune exec --no-build bin/rlibm_gen.exe -- fsck \
+  --cache-dir "$faultdir/killed" --repair > "$faultdir/fsck.out" \
+  || { echo "fsck --repair failed on the killed store:"
+       cat "$faultdir/fsck.out"; exit 1; }
+grep -q ', 0 quarantined,' "$faultdir/fsck.out" \
+  || { echo "kill left a torn entry:"; cat "$faultdir/fsck.out"; exit 1; }
+RLIBM_CACHE_DIR="$faultdir/killed" dune exec --no-build bin/rlibm_gen.exe -- \
+  warm --func exp2 --through oracle --shards 2 --ebits 4 --prec 7 \
+  2> /dev/null
+diff -r "$faultdir/control" "$faultdir/killed"
+# And the resumed store passes a plain fsck scan with everything valid.
+dune exec --no-build bin/rlibm_gen.exe -- fsck \
+  --cache-dir "$faultdir/killed" > "$faultdir/fsck-clean.out" \
+  || { echo "resumed store not fsck-clean:"
+       cat "$faultdir/fsck-clean.out"; exit 1; }
+grep -q ', 0 quarantined, 0 stale temps,' "$faultdir/fsck-clean.out" \
+  || { echo "resumed store has findings:"; cat "$faultdir/fsck-clean.out"; exit 1; }
+echo "injected ENOSPC exits 3 typed; kill-point resume bit-identical, fsck clean"
+
+rm -rf "$tracedir" "$faultdir"
 echo "== OK =="
